@@ -1,0 +1,314 @@
+(* The dtx command-line tool.
+
+     dtx generate   --mb 4 -o auctions.xml        XMark-schema generator
+     dtx query      -f doc.xml "/site/people/person[@id = \"p3\"]/name"
+     dtx update     -f doc.xml -e 'CHANGE //price TO "9.99"' [-o out.xml]
+     dtx dataguide  -f doc.xml                    print the strong DataGuide
+     dtx locks      -f doc.xml -e 'REMOVE //item' [--protocol node2pl]
+     dtx workload   --protocol xdgl --clients 50 --update-pct 20 ...
+     dtx experiment fig9 [--quick]                regenerate a paper figure
+
+   Everything runs on the simulated cluster; see bench/main.exe for the
+   complete evaluation harness. *)
+
+open Cmdliner
+
+module Doc = Dtx_xml.Doc
+module Node = Dtx_xml.Node
+module Xml_parser = Dtx_xml.Parser
+module Printer = Dtx_xml.Printer
+module Xp = Dtx_xpath.Parser
+module Eval = Dtx_xpath.Eval
+module Dataguide = Dtx_dataguide.Dataguide
+module Op = Dtx_update.Op
+module Exec = Dtx_update.Exec
+module Protocol = Dtx_protocol.Protocol
+module Mode = Dtx_locks.Mode
+module Table = Dtx_locks.Table
+module Generator = Dtx_xmark.Generator
+module Workload = Dtx_workload.Workload
+module Experiments = Dtx_workload.Experiments
+module Allocation = Dtx_frag.Allocation
+module Stats = Dtx_util.Stats
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let write_output out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc
+
+let load_doc path =
+  Xml_parser.parse ~name:(Filename.remove_extension (Filename.basename path))
+    (read_file path)
+
+(* --- common args ---------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE"
+         ~doc:"XML document to operate on.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the result to $(docv) instead of stdout.")
+
+let protocol_conv =
+  Arg.conv
+    ( (fun s ->
+        match Protocol.kind_of_string s with
+        | Some k -> Ok k
+        | None -> Error (`Msg ("unknown protocol " ^ s))),
+      fun ppf k -> Format.pp_print_string ppf (Protocol.kind_to_string k) )
+
+let protocol_arg =
+  Arg.(value & opt protocol_conv Protocol.Xdgl & info [ "protocol" ]
+         ~docv:"PROTO"
+         ~doc:"Concurrency-control protocol: xdgl, node2pl, doc2pl, tadom or xdgl+vl.")
+
+(* --- generate -------------------------------------------------------------- *)
+
+let generate_cmd =
+  let mb =
+    Arg.(value & opt float 1.0 & info [ "mb" ] ~docv:"MB"
+           ~doc:"Database size in paper-MB (1 MB \xe2\x89\x88 250 nodes).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed.") in
+  let run mb seed out =
+    let doc = Generator.generate (Generator.params_of_mb ~seed mb) in
+    write_output out (Printer.to_string doc ^ "\n");
+    Printf.eprintf "generated %d nodes (%d items, %d persons)\n" (Doc.size doc)
+      (List.length (Generator.item_ids doc))
+      (List.length (Generator.person_ids doc))
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate an XMark-schema auction document.")
+    Term.(const run $ mb $ seed $ output_arg)
+
+(* --- query ----------------------------------------------------------------- *)
+
+let query_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH"
+           ~doc:"Path expression (the XDGL XPath subset).")
+  in
+  let run file path_text =
+    let doc = load_doc file in
+    match Xp.parse path_text with
+    | exception Xp.Parse_error (msg, off) ->
+      Printf.eprintf "parse error at %d: %s\n" off msg;
+      exit 1
+    | path ->
+      let results = Eval.select doc path in
+      Printf.printf "<!-- %d result(s) -->\n" (List.length results);
+      List.iter (fun n -> print_endline (Printer.node_to_string n)) results
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate an XPath expression over a document.")
+    Term.(const run $ file_arg $ path)
+
+(* --- update ---------------------------------------------------------------- *)
+
+let op_arg =
+  Arg.(required & opt (some string) None & info [ "e"; "op" ] ~docv:"OP"
+         ~doc:"Operation in the textual update syntax, e.g. 'INSERT INTO \
+               /site/people <person/>' or 'CHANGE //price TO \"9.99\"'.")
+
+let update_cmd =
+  let run file op_text out =
+    let doc = load_doc file in
+    match Op.parse op_text with
+    | Error e ->
+      Printf.eprintf "bad operation: %s\n" e;
+      exit 1
+    | Ok op -> (
+      match Exec.apply doc op with
+      | Error e ->
+        Printf.eprintf "failed: %s\n" (Exec.error_to_string e);
+        exit 1
+      | Ok eff ->
+        Printf.eprintf "%d node(s) affected, %d touched\n" eff.Exec.result_count
+          eff.Exec.touched;
+        write_output out (Printer.to_string doc ^ "\n"))
+  in
+  Cmd.v (Cmd.info "update" ~doc:"Apply one update operation to a document.")
+    Term.(const run $ file_arg $ op_arg $ output_arg)
+
+(* --- txn ------------------------------------------------------------------- *)
+
+let txn_cmd =
+  let script_arg =
+    Arg.(required & opt (some string) None & info [ "e"; "script" ] ~docv:"SCRIPT"
+           ~doc:"Transaction script: one operation per line ('#' comments).")
+  in
+  let run file script out =
+    let doc = load_doc file in
+    match Op.parse_script script with
+    | Error e ->
+      Printf.eprintf "bad script: %s\n" e;
+      exit 1
+    | Ok ops ->
+      (* All-or-nothing: undo already-applied operations if a later one
+         fails — the same rollback discipline DTX uses on abort. *)
+      let rec apply_all done_ = function
+        | [] ->
+          Printf.eprintf "%d operation(s) applied\n" (List.length done_);
+          write_output out (Printer.to_string doc ^ "\n")
+        | op :: rest -> (
+          match Exec.apply doc op with
+          | Ok eff -> apply_all (eff :: done_) rest
+          | Error e ->
+            List.iter (fun eff -> ignore (Exec.undo doc eff.Exec.undo)) done_;
+            Printf.eprintf "failed (%s): %s — rolled back\n" (Op.to_string op)
+              (Exec.error_to_string e);
+            exit 1)
+      in
+      apply_all [] ops
+  in
+  Cmd.v
+    (Cmd.info "txn"
+       ~doc:"Apply a multi-operation transaction to a document, atomically.")
+    Term.(const run $ file_arg $ script_arg $ output_arg)
+
+(* --- dataguide ------------------------------------------------------------- *)
+
+let dataguide_cmd =
+  let run file =
+    let doc = load_doc file in
+    let dg = Dataguide.build doc in
+    Format.printf "%a" Dataguide.pp dg;
+    Printf.printf "(%d DataGuide nodes for %d document nodes: %.1fx smaller)\n"
+      (Dataguide.size dg) (Doc.size doc)
+      (float_of_int (Doc.size doc) /. float_of_int (Dataguide.size dg))
+  in
+  Cmd.v
+    (Cmd.info "dataguide"
+       ~doc:"Print the strong DataGuide of a document (the XDGL lock space).")
+    Term.(const run $ file_arg)
+
+(* --- locks ----------------------------------------------------------------- *)
+
+let locks_cmd =
+  let run file op_text kind =
+    let doc = load_doc file in
+    let proto = Protocol.create kind in
+    Protocol.add_doc proto doc;
+    match Op.parse op_text with
+    | Error e ->
+      Printf.eprintf "bad operation: %s\n" e;
+      exit 1
+    | Ok op -> (
+      match Protocol.lock_requests proto ~doc:doc.Doc.name op with
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 1
+      | Ok (requests, processed) ->
+        Printf.printf "%s would process %d lock request(s), retaining %d:\n"
+          (Protocol.kind_to_string kind) processed (List.length requests);
+        List.iter
+          (fun ((r : Table.resource), mode) ->
+            Printf.printf "  %-4s %s#%d\n" (Mode.to_string mode) r.Table.doc
+              r.Table.node)
+          requests)
+  in
+  Cmd.v
+    (Cmd.info "locks"
+       ~doc:"Show the lock set a protocol computes for an operation.")
+    Term.(const run $ file_arg $ op_arg $ protocol_arg)
+
+(* --- workload ---------------------------------------------------------------*)
+
+let policy_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "detection" -> Ok Dtx.Site.Detection
+        | "wait-die" | "waitdie" -> Ok Dtx.Site.Wait_die
+        | "wound-wait" | "woundwait" -> Ok Dtx.Site.Wound_wait
+        | other -> Error (`Msg ("unknown policy " ^ other))),
+      fun ppf p ->
+        Format.pp_print_string ppf
+          (match p with
+           | Dtx.Site.Detection -> "detection"
+           | Dtx.Site.Wait_die -> "wait-die"
+           | Dtx.Site.Wound_wait -> "wound-wait") )
+
+let workload_cmd =
+  let clients = Arg.(value & opt int 50 & info [ "clients" ] ~doc:"Number of clients.") in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Number of sites.") in
+  let txns = Arg.(value & opt int 5 & info [ "txns" ] ~doc:"Transactions per client.") in
+  let ops = Arg.(value & opt int 5 & info [ "ops" ] ~doc:"Operations per transaction.") in
+  let upd = Arg.(value & opt int 20 & info [ "update-pct" ] ~doc:"Percent update transactions.") in
+  let mb = Arg.(value & opt float 40.0 & info [ "mb" ] ~doc:"Base size in paper-MB.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload seed.") in
+  let total = Arg.(value & flag & info [ "total-replication" ] ~doc:"Replicate every document everywhere.") in
+  let retries = Arg.(value & opt int 0 & info [ "retries" ] ~doc:"Client resubmissions after abort.") in
+  let two_phase = Arg.(value & flag & info [ "two-phase" ] ~doc:"Commit with the 2PC extension.") in
+  let wan = Arg.(value & flag & info [ "wan" ] ~doc:"WAN link profile instead of LAN.") in
+  let policy =
+    Arg.(value & opt policy_conv Dtx.Site.Detection
+         & info [ "deadlock-policy" ] ~docv:"POLICY"
+             ~doc:"detection, wait-die or wound-wait.")
+  in
+  let run kind clients sites txns ops upd mb seed total retries two_phase wan
+      policy =
+    let p =
+      { Workload.default_params with
+        protocol = kind; n_clients = clients; n_sites = sites;
+        txns_per_client = txns; ops_per_txn = ops; update_txn_pct = upd;
+        base_size_mb = mb; seed; retries;
+        replication =
+          (if total then Allocation.Total else Allocation.Partial { copies = 1 });
+        two_phase_commit = two_phase;
+        net_profile = (if wan then Dtx_net.Net.wan else Dtx_net.Net.lan);
+        deadlock_policy = policy }
+    in
+    let r = Workload.run p in
+    Format.printf "%a@." Workload.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Run one DTXTester workload on the simulated cluster.")
+    Term.(const run $ protocol_arg $ clients $ sites $ txns $ ops $ upd $ mb
+          $ seed $ total $ retries $ two_phase $ wan $ policy)
+
+(* --- experiment -------------------------------------------------------------*)
+
+let experiment_cmd =
+  let figure =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE"
+           ~doc:"One of: fig9, fig10, fig11a, fig11b, fig12, all.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced scale.") in
+  let run figure quick =
+    let figs =
+      match figure with
+      | "fig9" -> Experiments.fig9 ~quick ()
+      | "fig10" -> Experiments.fig10 ~quick ()
+      | "fig11a" -> Experiments.fig11a ~quick ()
+      | "fig11b" -> Experiments.fig11b ~quick ()
+      | "fig12" -> Experiments.fig12 ~quick ()
+      | "all" -> Experiments.all ~quick ()
+      | other ->
+        Printf.eprintf "unknown figure %s\n" other;
+        exit 1
+    in
+    List.iter (fun f -> Format.printf "%a@.@." Experiments.pp_figure f) figs
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's figures.")
+    Term.(const run $ figure $ quick)
+
+let () =
+  let doc = "DTX: distributed concurrency control for XML data (reproduction)" in
+  let info = Cmd.info "dtx" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; query_cmd; update_cmd; txn_cmd; dataguide_cmd;
+            locks_cmd; workload_cmd; experiment_cmd ]))

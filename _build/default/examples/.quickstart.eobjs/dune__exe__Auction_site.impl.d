@@ -1,0 +1,1 @@
+examples/auction_site.ml: Dtx_frag Dtx_protocol Dtx_util Dtx_workload Dtx_xmark Dtx_xml List Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dtx Dtx_frag Dtx_net Dtx_protocol Dtx_sim Dtx_txn Dtx_update Dtx_xml Dtx_xpath List Option Printf

@@ -1,0 +1,1 @@
+examples/scenario.ml: Array Dtx Dtx_dataguide Dtx_frag Dtx_net Dtx_protocol Dtx_sim Dtx_txn Dtx_update Dtx_xml Dtx_xpath Format Printf

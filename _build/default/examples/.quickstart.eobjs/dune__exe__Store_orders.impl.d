@@ -1,0 +1,1 @@
+examples/store_orders.ml: Array Dtx Dtx_frag Dtx_net Dtx_protocol Dtx_sim Dtx_storage Dtx_txn Dtx_update Dtx_xml Dtx_xpath Filename List Printf String

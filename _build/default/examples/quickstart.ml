@@ -1,0 +1,83 @@
+(* Quickstart: boot a two-site DTX cluster over one replicated document,
+   run a read transaction and an update transaction, and look at the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Sim = Dtx_sim.Sim
+module Net = Dtx_net.Net
+module Cluster = Dtx.Cluster
+module Site = Dtx.Site
+module Txn = Dtx_txn.Txn
+module Op = Dtx_update.Op
+module P = Dtx_xpath.Parser
+module Eval = Dtx_xpath.Eval
+module Node = Dtx_xml.Node
+module Protocol = Dtx_protocol.Protocol
+module Allocation = Dtx_frag.Allocation
+
+let () =
+  (* 1. A document: a tiny product catalogue. *)
+  let catalogue =
+    Dtx_xml.Parser.parse ~name:"catalogue"
+      {|<products>
+          <product><id>1</id><name>Mouse</name><price>10.30</price></product>
+          <product><id>2</id><name>Keyboard</name><price>9.90</price></product>
+        </products>|}
+  in
+
+  (* 2. A simulated two-site cluster, the catalogue replicated on both. *)
+  let sim = Sim.create () in
+  let net = Net.create ~sim () in
+  let cluster =
+    Cluster.create ~sim ~net ~n_sites:2
+      (Cluster.default_config ()) (* XDGL protocol, default cost model *)
+      ~placements:[ { Allocation.doc = catalogue; sites = [ 0; 1 ] } ]
+  in
+  Cluster.shutdown_when_idle cluster;
+
+  (* 3. A read-only transaction: all product names. *)
+  ignore
+    (Cluster.submit cluster ~client:1 ~coordinator:0
+       ~ops:[ ("catalogue", Op.Query (P.parse "/products/product/name")) ]
+       ~on_finish:(fun txn ->
+         Printf.printf "read txn t%d: %s in %.2f ms\n" txn.Txn.id
+           (Txn.status_to_string txn.Txn.status)
+           (Txn.response_time txn)));
+
+  (* 4. An update transaction, written in the textual operation syntax. *)
+  let parse_op s = match Op.parse s with Ok op -> op | Error e -> failwith e in
+  ignore
+    (Cluster.submit cluster ~client:2 ~coordinator:1
+       ~ops:
+         [ ( "catalogue",
+             parse_op
+               "INSERT INTO /products <product><id>3</id><name>Monitor</name><price>129.00</price></product>"
+           );
+           ("catalogue", parse_op "CHANGE /products/product[id = \"1\"]/price TO \"8.99\"") ]
+       ~on_finish:(fun txn ->
+         Printf.printf "update txn t%d: %s in %.2f ms\n" txn.Txn.id
+           (Txn.status_to_string txn.Txn.status)
+           (Txn.response_time txn)));
+
+  (* 5. Run the simulated cluster until everything finished. *)
+  Sim.run sim;
+
+  (* 6. Inspect a replica: both sites converged on the same content. *)
+  let replica site =
+    match Protocol.doc (Cluster.sites cluster).(site).Site.protocol "catalogue" with
+    | Some d -> d
+    | None -> assert false
+  in
+  Printf.printf "\ncatalogue on site 0:\n";
+  List.iter
+    (fun product ->
+      Printf.printf "  %-10s %8s\n"
+        (Node.text_content (Option.get (Node.find_child product ~label:"name")))
+        (Node.text_content (Option.get (Node.find_child product ~label:"price"))))
+    (Eval.select (replica 0) (P.parse "/products/product"));
+  Printf.printf "replicas equal: %b\n"
+    (Dtx_xml.Doc.equal_structure (replica 0) (replica 1));
+  let s = Cluster.stats cluster in
+  Printf.printf "committed=%d aborted=%d messages=%d lock requests=%d\n"
+    s.Cluster.committed s.Cluster.aborted (Net.messages net)
+    (Cluster.total_lock_requests cluster)

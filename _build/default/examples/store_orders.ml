@@ -1,0 +1,123 @@
+(* A small distributed retail scenario written entirely in DTX's textual
+   operation language (QUERY / INSERT / CHANGE / REMOVE / TRANSPOSE /
+   RENAME), with a filesystem-backed store so the committed state survives
+   as real XML files you can inspect afterwards.
+
+   Three sites: "fortaleza" holds the customers document, "recife" holds
+   orders, "natal" holds inventory plus a replica of orders. Transactions
+   cross sites: placing an order reads inventory at natal and writes orders
+   at recife+natal.
+
+   Run with: dune exec examples/store_orders.exe *)
+
+module Sim = Dtx_sim.Sim
+module Net = Dtx_net.Net
+module Cluster = Dtx.Cluster
+module Site = Dtx.Site
+module Txn = Dtx_txn.Txn
+module Op = Dtx_update.Op
+module P = Dtx_xpath.Parser
+module Eval = Dtx_xpath.Eval
+module Node = Dtx_xml.Node
+module Protocol = Dtx_protocol.Protocol
+module Allocation = Dtx_frag.Allocation
+module Storage = Dtx_storage.Storage
+
+let customers =
+  {|<customers>
+      <customer><id>c1</id><name>Ana Silva</name><city>Fortaleza</city></customer>
+      <customer><id>c2</id><name>Bruno Costa</name><city>Recife</city></customer>
+    </customers>|}
+
+let orders = {|<orders></orders>|}
+
+let inventory =
+  {|<inventory>
+      <sku><id>mouse</id><stock>5</stock><price>10.30</price></sku>
+      <sku><id>keyboard</id><stock>3</stock><price>9.90</price></sku>
+      <sku><id>cable</id><stock>0</stock><price>2.50</price></sku>
+    </inventory>|}
+
+let op s = match Op.parse s with Ok op -> op | Error e -> failwith e
+
+let () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim () in
+  let parse name text = Dtx_xml.Parser.parse ~name text in
+  let store_dir = Filename.concat (Filename.get_temp_dir_name ()) "dtx-store-orders" in
+  let cluster =
+    Cluster.create ~sim ~net ~n_sites:3
+      { (Cluster.default_config ()) with storage = `Filesystem store_dir }
+      ~placements:
+        [ { Allocation.doc = parse "customers" customers; sites = [ 0 ] };
+          { Allocation.doc = parse "orders" orders; sites = [ 1; 2 ] };
+          { Allocation.doc = parse "inventory" inventory; sites = [ 2 ] } ]
+  in
+  Cluster.shutdown_when_idle cluster;
+  (* The paper leaves resubmission after a deadlock abort to the client
+     (§2.4); this client retries once. *)
+  let rec submit_with_retry name ~client ~coordinator ~ops ~retries =
+    ignore
+      (Cluster.submit cluster ~client ~coordinator ~ops
+         ~on_finish:(fun txn ->
+           Printf.printf "%-22s %-9s (%.2f ms)%s\n" name
+             (Txn.status_to_string txn.Txn.status)
+             (Txn.response_time txn)
+             (if txn.Txn.status = Txn.Aborted && retries > 0 then
+                " -> retrying"
+              else "");
+           if txn.Txn.status = Txn.Aborted && retries > 0 then
+             submit_with_retry name ~client ~coordinator ~ops
+               ~retries:(retries - 1)))
+  in
+  (* Ana orders a mouse: read the customer, check stock, append the order,
+     decrement stock. *)
+  submit_with_retry "ana-orders-mouse" ~client:1 ~coordinator:0 ~retries:1
+    ~ops:
+      [ ("customers", op {|QUERY /customers/customer[id = "c1"]|});
+        ("inventory", op {|QUERY /inventory/sku[id = "mouse"]/stock|});
+        ( "orders",
+          op
+            {|INSERT INTO /orders <order><id>o1</id><customer>c1</customer><sku>mouse</sku><qty>1</qty></order>|}
+        );
+        ("inventory", op {|CHANGE /inventory/sku[id = "mouse"]/stock TO "4"|}) ];
+  (* Bruno orders a keyboard, concurrently. *)
+  submit_with_retry "bruno-orders-keyboard" ~client:2 ~coordinator:1 ~retries:1
+    ~ops:
+      [ ("customers", op {|QUERY /customers/customer[id = "c2"]|});
+        ( "orders",
+          op
+            {|INSERT INTO /orders <order><id>o2</id><customer>c2</customer><sku>keyboard</sku><qty>2</qty></order>|}
+        );
+        ("inventory", op {|CHANGE /inventory/sku[id = "keyboard"]/stock TO "1"|}) ];
+  (* Back-office maintenance: retire the out-of-stock cable SKU into an
+     archive section, renaming it on the way. *)
+  submit_with_retry "retire-cable-sku" ~client:3 ~coordinator:2 ~retries:1
+    ~ops:
+      [ ("inventory", op {|INSERT INTO /inventory <archive/>|});
+        ("inventory", op {|TRANSPOSE /inventory/sku[id = "cable"] INTO /inventory/archive|});
+        ("inventory", op {|RENAME /inventory/archive/sku TO retired|}) ];
+  Sim.run sim;
+
+  let replica site doc =
+    match Protocol.doc (Cluster.sites cluster).(site).Site.protocol doc with
+    | Some d -> d
+    | None -> assert false
+  in
+  Printf.printf "\norders at recife and natal agree: %b\n"
+    (Dtx_xml.Doc.equal_structure (replica 1 "orders") (replica 2 "orders"));
+  Printf.printf "orders placed: %d\n"
+    (List.length (Eval.select (replica 1 "orders") (P.parse "/orders/order")));
+  let stock sku =
+    match Eval.select (replica 2 "inventory") (P.parse (Printf.sprintf {|/inventory/sku[id = "%s"]/stock|} sku)) with
+    | [ n ] -> Node.text_content n
+    | _ -> "?"
+  in
+  Printf.printf "stock: mouse=%s keyboard=%s; retired skus: %d\n" (stock "mouse")
+    (stock "keyboard")
+    (List.length (Eval.select (replica 2 "inventory") (P.parse "/inventory/archive/retired")));
+  (* The DataManager persisted committed documents as real files. *)
+  let st = (Cluster.sites cluster).(2).Site.storage in
+  Printf.printf "\nfiles persisted by the natal DataManager (%s):\n  %s\n"
+    store_dir
+    (String.concat "\n  " (Storage.list st))

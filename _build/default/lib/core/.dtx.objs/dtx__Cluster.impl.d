@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Cost Dtx_frag Dtx_locks Dtx_net Dtx_protocol Dtx_sim Dtx_storage Dtx_txn Dtx_update Dtx_util Filename Hashtbl History List Logs Printf Site String Sys Wal

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Cost Dtx_frag Dtx_net Dtx_protocol Dtx_sim Dtx_txn Dtx_update Dtx_util History Site

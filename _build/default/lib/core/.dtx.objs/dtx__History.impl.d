@@ -1,0 +1,1 @@
+lib/core/history.ml: Array Dtx_locks Dtx_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/site.mli: Dtx_locks Dtx_protocol Dtx_storage Dtx_update Dtx_xml Hashtbl Wal

@@ -1,0 +1,25 @@
+type t = {
+  lock_request_ms : float;
+  node_touch_ms : float;
+  sched_ms : float;
+  persist_node_ms : float;
+  op_msg_bytes : int;
+  ack_msg_bytes : int;
+  result_bytes_per_node : int;
+}
+
+let default =
+  { lock_request_ms = 0.012;
+    node_touch_ms = 0.002;
+    sched_ms = 0.05;
+    persist_node_ms = 0.001;
+    op_msg_bytes = 512;
+    ack_msg_bytes = 128;
+    result_bytes_per_node = 64 }
+
+let scaled ?(factor = 1.0) t =
+  { t with
+    lock_request_ms = t.lock_request_ms *. factor;
+    node_touch_ms = t.node_touch_ms *. factor;
+    sched_ms = t.sched_ms *. factor;
+    persist_node_ms = t.persist_node_ms *. factor }

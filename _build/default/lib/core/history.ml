@@ -1,0 +1,98 @@
+module Table = Dtx_locks.Table
+module Mode = Dtx_locks.Mode
+module Wfg = Dtx_locks.Wfg
+module Vec = Dtx_util.Vec
+
+type access = {
+  a_time : float;
+  a_site : int;
+  a_txn : int;
+  a_op : int;
+  a_attempt : int;
+  a_resource : Table.resource;
+  a_mode : Mode.t;
+}
+
+type t = {
+  log : access Vec.t;
+  invalidated : (int * int * int, unit) Hashtbl.t;
+  commits : (int, float) Hashtbl.t;
+  aborted : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  { log = Vec.create ();
+    invalidated = Hashtbl.create 64;
+    commits = Hashtbl.create 64;
+    aborted = Hashtbl.create 64 }
+
+let record t ~time ~site ~txn ~op_index ~attempt grants =
+  List.iter
+    (fun (resource, mode) ->
+      Vec.push t.log
+        { a_time = time; a_site = site; a_txn = txn; a_op = op_index;
+          a_attempt = attempt; a_resource = resource; a_mode = mode })
+    grants
+
+let invalidate t ~txn ~op_index ~attempt =
+  Hashtbl.replace t.invalidated (txn, op_index, attempt) ()
+
+let note_commit t ~txn ~time = Hashtbl.replace t.commits txn time
+
+let note_abort t ~txn = Hashtbl.replace t.aborted txn ()
+
+let committed t =
+  Hashtbl.fold (fun txn time acc -> (txn, time) :: acc) t.commits []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let valid t a =
+  Hashtbl.mem t.commits a.a_txn
+  && (not (Hashtbl.mem t.aborted a.a_txn))
+  && not (Hashtbl.mem t.invalidated (a.a_txn, a.a_op, a.a_attempt))
+
+let accesses t =
+  Vec.fold_left (fun acc a -> if valid t a then a :: acc else acc) [] t.log
+  |> List.sort (fun a b -> compare a.a_time b.a_time)
+
+let conflict_edges t =
+  (* Group valid accesses per (site, resource); a conflicting pair in time
+     order yields an edge. Quadratic per group, which is fine: groups are
+     small (a resource is rarely touched by many committed transactions). *)
+  let groups : (int * Table.resource, access list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  List.iter
+    (fun a ->
+      let key = (a.a_site, a.a_resource) in
+      match Hashtbl.find_opt groups key with
+      | Some l -> l := a :: !l (* reverse time order *)
+      | None -> Hashtbl.add groups key (ref [ a ]))
+    (accesses t);
+  let edges = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun _ group ->
+      let items = Array.of_list (List.rev !group) in
+      let n = Array.length items in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = items.(i) and b = items.(j) in
+          if a.a_txn <> b.a_txn && not (Mode.compatible a.a_mode b.a_mode) then
+            Hashtbl.replace edges (a.a_txn, b.a_txn) ()
+        done
+      done)
+    groups;
+  Hashtbl.fold (fun e () acc -> e :: acc) edges [] |> List.sort compare
+
+let check_serializable t =
+  let g = Wfg.create () in
+  List.iter
+    (fun (a, b) -> Wfg.add_wait g ~waiter:a ~holders:[ b ])
+    (conflict_edges t);
+  match Wfg.find_cycle g with
+  | None -> Ok ()
+  | Some cycle ->
+    Error
+      (Printf.sprintf "conflict cycle among committed transactions: %s"
+         (String.concat " -> " (List.map string_of_int cycle)))
+
+let size t = Vec.length t.log

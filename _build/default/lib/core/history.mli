@@ -1,0 +1,56 @@
+(** Transaction histories and conflict-serializability checking.
+
+    The paper argues DTX's global serializability informally (§2.2, citing
+    Türker et al.'s proof schema). This module provides the {e mechanical}
+    counterpart: record every lock grant a site makes, drop the ones undone
+    by operation-level rollback or abort, and check that the committed
+    transactions' conflict graph — an edge [Ti → Tj] whenever [Ti] accessed
+    a resource before [Tj] in incompatible modes — is acyclic. Strict 2PL
+    plus DTX's all-or-nothing cross-site operations should make this hold
+    for every execution; the integration tests run random workloads under
+    all three protocols and assert it. *)
+
+type access = {
+  a_time : float;
+  a_site : int;
+  a_txn : int;
+  a_op : int;
+  a_attempt : int;
+  a_resource : Dtx_locks.Table.resource;
+  a_mode : Dtx_locks.Mode.t;
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  time:float -> site:int -> txn:int -> op_index:int -> attempt:int ->
+  (Dtx_locks.Table.resource * Dtx_locks.Mode.t) list ->
+  unit
+(** Log the lock grants of one executed operation attempt. *)
+
+val invalidate : t -> txn:int -> op_index:int -> attempt:int -> unit
+(** The attempt's effects were undone; its accesses no longer count. *)
+
+val note_commit : t -> txn:int -> time:float -> unit
+
+val note_abort : t -> txn:int -> unit
+(** Drops every access of the transaction. *)
+
+val committed : t -> (int * float) list
+(** Committed transactions with commit times, by commit order. *)
+
+val accesses : t -> access list
+(** Valid accesses of committed transactions, in time order. *)
+
+val conflict_edges : t -> (int * int) list
+(** Distinct [Ti → Tj] pairs: [Ti]'s access precedes [Tj]'s incompatible
+    access to the same (site, resource), both committed. *)
+
+val check_serializable : t -> (unit, string) result
+(** [Ok ()] iff the conflict graph is acyclic; [Error] names a cycle. *)
+
+val size : t -> int
+(** Number of raw access records (diagnostics). *)

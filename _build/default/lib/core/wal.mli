@@ -1,0 +1,43 @@
+(** Per-site write-ahead commit log — the durability half of the paper's
+    future work ("develop solutions for DTX to work with the properties of
+    atomicity and durability", §5).
+
+    Under two-phase commit each participant logs [Prepared] before voting
+    yes, and logs the outcome ([Committed] {e after} the DataManager's
+    write-back, [Aborted] otherwise). The log is durable: it survives
+    {!Site.wipe_volatile}. Because the outcome record is written only after
+    persistence completes, the store is always consistent with the log, and
+    crash recovery reduces to {e presumed abort}: an in-doubt transaction
+    (prepared, no outcome) can be recorded aborted — its effects never
+    reached the store. *)
+
+type entry =
+  | Prepared of { txn : int; time : float }
+  | Committed of { txn : int; time : float }
+  | Aborted of { txn : int; time : float }
+
+val entry_txn : entry -> int
+
+type t
+
+val create : unit -> t
+
+val append : t -> entry -> unit
+
+val entries : t -> entry list
+(** In append order. *)
+
+val length : t -> int
+
+val outcome_of : t -> int -> [ `Committed | `Aborted | `In_doubt | `Unknown ]
+(** The latest state the log records for a transaction: [`Unknown] if it
+    never prepared here. *)
+
+val in_doubt : t -> int list
+(** Transactions with a [Prepared] record and no outcome record — what a
+    recovering site must resolve (sorted). *)
+
+val resolve_presumed_abort : t -> int list
+(** Append [Aborted] for every in-doubt transaction (at time 0.0 relative
+    records are fine for recovery bookkeeping); returns the transactions
+    resolved. *)

@@ -1,0 +1,1 @@
+lib/dataguide/dataguide.ml: Dtx_xml Dtx_xpath Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/dataguide/dataguide.mli: Dtx_xml Dtx_xpath Format Hashtbl

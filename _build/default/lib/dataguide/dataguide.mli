@@ -1,0 +1,85 @@
+(** Strong DataGuides (Goldman & Widom, VLDB '97) for tree-shaped XML.
+
+    A DataGuide is a summary tree with exactly one node per distinct label
+    path of the document. For trees it is a trie of label paths, so it is
+    typically orders of magnitude smaller than the document — which is
+    precisely why XDGL locks DataGuide nodes instead of document nodes: a
+    query or update needs locks proportional to the number of distinct label
+    paths it touches, not the number of matching document nodes.
+
+    Each DataGuide node keeps a [target_count]: how many document nodes map
+    to this label path. Counts are maintained incrementally as the document
+    is updated, and a node whose count drops to zero stays in place (locks
+    may still reference it); {!prune} removes such husks when nothing
+    references them anymore. *)
+
+type node = {
+  dg_id : int;  (** unique within one DataGuide *)
+  label : string;
+  parent : node option;
+  children : (string, node) Hashtbl.t;  (** label → child *)
+  mutable target_count : int;  (** document nodes mapping here *)
+}
+
+type t = {
+  doc_name : string;
+  root : node;
+  by_id : (int, node) Hashtbl.t;
+  mutable next_id : int;
+}
+
+val build : Dtx_xml.Doc.t -> t
+(** [build doc] constructs the strong DataGuide of [doc]. *)
+
+val size : t -> int
+(** Number of DataGuide nodes (distinct label paths). *)
+
+val find_path : t -> string list -> node option
+(** [find_path g labels] looks up the node for a root-to-node label path
+    (the first label must be the root's). *)
+
+val ensure_path : t -> string list -> node
+(** Like {!find_path} but creates missing nodes (with zero counts) along the
+    way. @raise Invalid_argument if the first label differs from the root. *)
+
+val add_instance : t -> string list -> node
+(** [add_instance g labels] registers one more document node at this label
+    path (creating DataGuide nodes as needed) and returns its node. *)
+
+val remove_instance : t -> string list -> unit
+(** Inverse of {!add_instance}. @raise Invalid_argument if the path is
+    unknown or its count is already zero. *)
+
+val add_subtree : t -> Dtx_xml.Node.t -> unit
+(** Register every node of a document subtree (used after an insert). *)
+
+val remove_subtree : t -> Dtx_xml.Node.t -> unit
+(** Unregister every node of a document subtree (used after a remove). *)
+
+val ancestors : node -> node list
+(** Ancestors from parent up to the root, nearest first. *)
+
+val descendants_or_self : node -> node list
+(** The DataGuide subtree under a node, in preorder. *)
+
+val label_path : node -> string list
+(** Root-to-node labels. *)
+
+val match_path : t -> Dtx_xpath.Ast.path -> node list
+(** [match_path g p] is the set of DataGuide nodes whose label paths can
+    match [p] {e structurally} — predicates are ignored (a predicate can only
+    narrow the document result, and locks must cover every node the query
+    might inspect). This is XDGL's lock-target computation for the main
+    path. *)
+
+val prune : t -> int
+(** Remove leaf nodes with [target_count = 0]; returns how many were
+    removed. *)
+
+val validate : t -> Dtx_xml.Doc.t -> (unit, string) result
+(** Check that the DataGuide is exactly the strong DataGuide of [doc]: every
+    document label path present with the right count, and no extra non-zero
+    counts. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line tree rendering, mirroring the paper's Fig. 5. *)

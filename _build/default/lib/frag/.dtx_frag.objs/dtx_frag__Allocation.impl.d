@@ -1,0 +1,1 @@
+lib/frag/allocation.ml: Dtx_xml Format Hashtbl List Printf String

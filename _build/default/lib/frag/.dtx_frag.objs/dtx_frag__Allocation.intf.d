@@ -1,0 +1,1 @@
+lib/frag/allocation.mli: Dtx_xml Format

@@ -1,0 +1,1 @@
+lib/frag/fragment.ml: Array Dtx_util Dtx_xml Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/frag/fragment.mli: Dtx_xml

@@ -1,0 +1,88 @@
+module Node = Dtx_xml.Node
+module Doc = Dtx_xml.Doc
+module Vec = Dtx_util.Vec
+
+let fragment_names name ~parts =
+  List.init parts (fun i -> Printf.sprintf "%s#%d" name i)
+
+(* Deep copy preserving node ids (replica semantics, like Doc.clone). *)
+let rec copy_tree (n : Node.t) : Node.t =
+  let c = Node.make ~id:n.Node.id ~label:n.Node.label ?text:n.Node.text () in
+  Vec.iter (fun child -> Node.add_child c (copy_tree child)) n.Node.children;
+  c
+
+let fragment (doc : Doc.t) ~parts =
+  if parts < 1 then invalid_arg "Fragment.fragment: parts must be >= 1";
+  let names = fragment_names doc.Doc.name ~parts in
+  if parts = 1 then [ Doc.of_root ~name:(List.hd names) (copy_tree doc.Doc.root) ]
+  else begin
+    (* Skeleton per fragment: root + its direct children (attributes and text
+       of both levels included), without the second-level subtrees. *)
+    let make_skeleton name =
+      let root =
+        Node.make ~id:doc.Doc.root.Node.id ~label:doc.Doc.root.Node.label
+          ?text:doc.Doc.root.Node.text ()
+      in
+      let sections = Hashtbl.create 8 in
+      Vec.iter
+        (fun (sec : Node.t) ->
+          let copy =
+            Node.make ~id:sec.Node.id ~label:sec.Node.label ?text:sec.Node.text ()
+          in
+          (* First-level attributes stay with the structure. *)
+          Vec.iter
+            (fun (c : Node.t) ->
+              if Node.is_attribute c then Node.add_child copy (copy_tree c))
+            sec.Node.children;
+          Node.add_child root copy;
+          Hashtbl.replace sections sec.Node.id copy)
+        doc.Doc.root.Node.children;
+      (name, root, sections)
+    in
+    let fragments = List.map make_skeleton names in
+    let bins = Array.of_list fragments in
+    let sizes = Array.make parts 0 in
+    (* Units: second-level subtrees with their section of origin. *)
+    let units = ref [] in
+    Vec.iter
+      (fun (sec : Node.t) ->
+        Vec.iter
+          (fun (u : Node.t) ->
+            if not (Node.is_attribute u) then
+              units := (sec.Node.id, u, Node.subtree_size u) :: !units)
+          sec.Node.children)
+      doc.Doc.root.Node.children;
+    let units =
+      List.sort
+        (fun (_, a, sa) (_, b, sb) ->
+          let c = compare sb sa in
+          if c <> 0 then c else compare a.Node.id b.Node.id)
+        !units
+    in
+    let smallest_bin () =
+      let best = ref 0 in
+      for i = 1 to parts - 1 do
+        if sizes.(i) < sizes.(!best) then best := i
+      done;
+      !best
+    in
+    List.iter
+      (fun (sec_id, u, sz) ->
+        let b = smallest_bin () in
+        let _, _, sections = bins.(b) in
+        (match Hashtbl.find_opt sections sec_id with
+         | Some sec_copy -> Node.add_child sec_copy (copy_tree u)
+         | None -> ());
+        sizes.(b) <- sizes.(b) + sz)
+      units;
+    List.map (fun (name, root, _) -> Doc.of_root ~name root) fragments
+  end
+
+let size_imbalance docs =
+  match docs with
+  | [] -> 1.0
+  | _ ->
+    let sizes = List.map (fun d -> float_of_int (Doc.size d)) docs in
+    let mn = List.fold_left min (List.hd sizes) sizes in
+    let mx = List.fold_left max (List.hd sizes) sizes in
+    if mn <= 0.0 then infinity else mx /. mn

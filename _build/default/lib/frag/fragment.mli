@@ -1,0 +1,26 @@
+(** Size-balanced XML fragmentation, after Kurita et al. (AINA '07), the
+    scheme the paper uses for partial replication: "the data is fragmented
+    considering the structure and size of the document, so that each
+    generated fragment has a similar size … all sites have similar volumes
+    of data" (§3.2).
+
+    The unit of distribution is a {e second-level subtree}: each child of a
+    child of the root (an individual person, item, auction, …). Every
+    fragment replicates the root and the first-level structure (so all
+    fragments share the document schema) and receives a subset of the
+    units, assigned greedily largest-first to the currently smallest
+    fragment. *)
+
+val fragment :
+  Dtx_xml.Doc.t -> parts:int -> Dtx_xml.Doc.t list
+(** [fragment doc ~parts] splits [doc] into [parts] documents named
+    ["<name>#0" … "<name>#k"]. With [parts = 1] the result is a single
+    renamed copy. Node ids are preserved from the original document.
+    @raise Invalid_argument if [parts < 1]. *)
+
+val fragment_names : string -> parts:int -> string list
+(** The names [fragment] would produce. *)
+
+val size_imbalance : Dtx_xml.Doc.t list -> float
+(** max/min node-count ratio across fragments (1.0 = perfectly balanced);
+    used by tests to assert the balance property. *)

@@ -1,0 +1,1 @@
+lib/locks/mode.ml: Format

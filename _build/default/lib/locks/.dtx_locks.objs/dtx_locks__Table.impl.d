@@ -1,0 +1,1 @@
+lib/locks/table.ml: Format Hashtbl List Mode

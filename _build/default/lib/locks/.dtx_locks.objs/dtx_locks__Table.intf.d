@@ -1,0 +1,1 @@
+lib/locks/table.mli: Format Mode

@@ -1,0 +1,1 @@
+lib/locks/wfg.ml: Format Hashtbl Int List Set

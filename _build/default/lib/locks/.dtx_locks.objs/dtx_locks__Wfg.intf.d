@@ -1,0 +1,1 @@
+lib/locks/wfg.mli: Format

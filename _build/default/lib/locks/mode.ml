@@ -1,0 +1,54 @@
+type t = IS | IX | SI | SA | SB | ST | X | XT
+
+let all = [ IS; IX; SI; SA; SB; ST; X; XT ]
+
+(* The matrix is symmetric; [compat a b] is spelled out for one triangular
+   half and mirrored in [compatible]. Rationale per pair family:
+   - X and XT conflict with everything (exclusive node / exclusive tree).
+   - ST conflicts with IX (an update intends below the protected subtree)
+     and with the insertion-shared locks SI/SA/SB (an insertion updates the
+     subtree the ST protects), per the XDGL rules.
+   - the shared family (IS, SI, SA, SB) are mutually compatible and
+     compatible with IX (intent alone does not touch this node's content). *)
+let compat a b =
+  match (a, b) with
+  | X, _ | _, X | XT, _ | _, XT -> false
+  | ST, IX | IX, ST -> false
+  | ST, (SI | SA | SB) | (SI | SA | SB), ST -> false
+  | ST, (IS | ST) | IS, ST -> true
+  | (IS | IX | SI | SA | SB), (IS | IX | SI | SA | SB) -> true
+
+let compatible a b = compat a b
+
+let is_intention = function IS | IX -> true | _ -> false
+
+let is_shared = function IS | SI | SA | SB | ST -> true | _ -> false
+
+let is_exclusive = function X | XT | IX -> true | _ -> false
+
+let intention_for = function
+  | X | XT | IX -> IX
+  | IS | SI | SA | SB | ST -> IS
+
+let to_string = function
+  | IS -> "IS"
+  | IX -> "IX"
+  | SI -> "SI"
+  | SA -> "SA"
+  | SB -> "SB"
+  | ST -> "ST"
+  | X -> "X"
+  | XT -> "XT"
+
+let of_string = function
+  | "IS" -> Some IS
+  | "IX" -> Some IX
+  | "SI" -> Some SI
+  | "SA" -> Some SA
+  | "SB" -> Some SB
+  | "ST" -> Some ST
+  | "X" -> Some X
+  | "XT" -> Some XT
+  | _ -> None
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

@@ -1,0 +1,145 @@
+type resource = { doc : string; node : int; value : string option }
+
+let resource doc node = { doc; node; value = None }
+
+let value_resource doc node value = { doc; node; value = Some value }
+
+let pp_resource ppf r =
+  match r.value with
+  | None -> Format.fprintf ppf "%s#%d" r.doc r.node
+  | Some v -> Format.fprintf ppf "%s#%d=%S" r.doc r.node v
+
+(* One grant: a transaction holding [mode] on a resource, reference-counted
+   (the same operation may request the same lock several times, e.g. IS on a
+   shared ancestor of two targets). *)
+type holder = {
+  txn : int;
+  mode : Mode.t;
+  mutable count : int;
+}
+
+type t = {
+  table : (resource, holder list ref) Hashtbl.t;
+  by_txn : (int, (resource, unit) Hashtbl.t) Hashtbl.t;
+  mutable grants : int;
+}
+
+let create () = { table = Hashtbl.create 256; by_txn = Hashtbl.create 64; grants = 0 }
+
+let entry t r =
+  match Hashtbl.find_opt t.table r with
+  | Some e -> e
+  | None ->
+    let e = ref [] in
+    Hashtbl.replace t.table r e;
+    e
+
+let note_txn_resource t ~txn r =
+  let set =
+    match Hashtbl.find_opt t.by_txn txn with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.replace t.by_txn txn s;
+      s
+  in
+  Hashtbl.replace set r ()
+
+let conflicts_on t ~txn r mode =
+  match Hashtbl.find_opt t.table r with
+  | None -> []
+  | Some e ->
+    List.filter_map
+      (fun h ->
+        if h.txn <> txn && not (Mode.compatible h.mode mode) then Some h.txn
+        else None)
+      !e
+
+let grant t ~txn r mode =
+  let e = entry t r in
+  (match List.find_opt (fun h -> h.txn = txn && h.mode = mode) !e with
+   | Some h -> h.count <- h.count + 1
+   | None -> e := { txn; mode; count = 1 } :: !e);
+  t.grants <- t.grants + 1;
+  note_txn_resource t ~txn r
+
+let ungrant t ~txn r mode =
+  match Hashtbl.find_opt t.table r with
+  | None -> ()
+  | Some e -> (
+    match List.find_opt (fun h -> h.txn = txn && h.mode = mode) !e with
+    | None -> ()
+    | Some h ->
+      h.count <- h.count - 1;
+      t.grants <- t.grants - 1;
+      if h.count = 0 then begin
+        e := List.filter (fun h' -> not (h' == h)) !e;
+        if !e = [] then Hashtbl.remove t.table r
+      end)
+
+let sort_uniq_ints l = List.sort_uniq compare l
+
+let acquire_all t ~txn requests =
+  (* First pass: collect every conflicting transaction without mutating. *)
+  let conflicting =
+    List.concat_map (fun (r, mode) -> conflicts_on t ~txn r mode) requests
+  in
+  match sort_uniq_ints conflicting with
+  | [] ->
+    List.iter (fun (r, mode) -> grant t ~txn r mode) requests;
+    Ok ()
+  | blockers -> Error blockers
+
+let release_request t ~txn requests =
+  List.iter (fun (r, mode) -> ungrant t ~txn r mode) requests
+
+let release_txn t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some set ->
+    let freed = ref [] in
+    Hashtbl.iter
+      (fun r () ->
+        match Hashtbl.find_opt t.table r with
+        | None -> ()
+        | Some e ->
+          let mine, others = List.partition (fun h -> h.txn = txn) !e in
+          if mine <> [] then begin
+            List.iter (fun h -> t.grants <- t.grants - h.count) mine;
+            freed := r :: !freed;
+            if others = [] then Hashtbl.remove t.table r else e := others
+          end)
+      set;
+    Hashtbl.remove t.by_txn txn;
+    !freed
+
+let holders t r =
+  match Hashtbl.find_opt t.table r with
+  | None -> []
+  | Some e -> List.map (fun h -> (h.txn, h.mode)) !e
+
+let locks_of t ~txn =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> []
+  | Some set ->
+    Hashtbl.fold
+      (fun r () acc ->
+        match Hashtbl.find_opt t.table r with
+        | None -> acc
+        | Some e ->
+          List.fold_left
+            (fun acc h -> if h.txn = txn then (r, h.mode) :: acc else acc)
+            acc !e)
+      set []
+
+let lock_count t = t.grants
+
+let txn_holds t ~txn r mode =
+  match Hashtbl.find_opt t.table r with
+  | None -> false
+  | Some e -> List.exists (fun h -> h.txn = txn && h.mode = mode && h.count > 0) !e
+
+let clear t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.by_txn;
+  t.grants <- 0

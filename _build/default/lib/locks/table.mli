@@ -1,0 +1,65 @@
+(** The lock table: who holds which mode on which resource.
+
+    A {e resource} is a (document, node) pair; which node-id space it refers
+    to depends on the protocol (XDGL locks DataGuide node ids, Node2PL locks
+    document node ids, Doc2PL locks the pseudo-node 0 of each document). The
+    table itself is protocol-agnostic.
+
+    Acquisition is {e all-or-nothing} over a request list, matching
+    Alg. 3: either every requested lock is granted, or none is recorded and
+    the conflicting transactions are reported (they become wait-for graph
+    edges). Re-acquiring a mode already held is counted, so releases on undo
+    are balanced. *)
+
+type resource = {
+  doc : string;
+  node : int;
+  value : string option;
+      (** value dimension for XDGL's logical/value locks: [(node, Some v)]
+          resources are disjoint from [(node, None)] and from other values,
+          so predicate readers of one value never collide with writers of
+          another *)
+}
+
+val resource : string -> int -> resource
+(** Plain structural resource ([value = None]). *)
+
+val value_resource : string -> int -> string -> resource
+
+val pp_resource : Format.formatter -> resource -> unit
+
+type t
+
+val create : unit -> t
+
+val acquire_all :
+  t -> txn:int -> (resource * Mode.t) list -> (unit, int list) result
+(** [acquire_all t ~txn requests] grants every request or none. [Error txns]
+    lists the distinct transactions whose held locks conflict (the wait-for
+    edges to add). Requests by [txn] never conflict with [txn]'s own locks.
+    Granted duplicates within one call are reference-counted. *)
+
+val release_txn : t -> txn:int -> resource list
+(** Release everything [txn] holds (Strict 2PL end-of-transaction release);
+    returns the resources freed so the scheduler can wake waiters. *)
+
+val release_request :
+  t -> txn:int -> (resource * Mode.t) list -> unit
+(** Undo one granted [acquire_all] (used when an operation is rolled back at
+    a site while its transaction lives on and keeps its other locks). *)
+
+val holders : t -> resource -> (int * Mode.t) list
+(** Current holders of a resource (one entry per (txn, mode)). *)
+
+val locks_of : t -> txn:int -> (resource * Mode.t) list
+(** Every (resource, mode) held by [txn]. *)
+
+val lock_count : t -> int
+(** Total number of (txn, mode, resource) grants currently recorded — the
+    "lock management overhead" the paper talks about. *)
+
+val txn_holds : t -> txn:int -> resource -> Mode.t -> bool
+
+val clear : t -> unit
+(** Drop every grant (crash simulation: a restarting site loses its
+    volatile lock state). *)

@@ -1,0 +1,95 @@
+module IntSet = Set.Make (Int)
+
+module H = Hashtbl.Make (Int)
+
+type t = { out : IntSet.t H.t }
+
+let create () = { out = H.create 32 }
+
+let add_wait t ~waiter ~holders =
+  let cur = match H.find_opt t.out waiter with Some s -> s | None -> IntSet.empty in
+  let s =
+    List.fold_left
+      (fun s h -> if h = waiter then s else IntSet.add h s)
+      cur holders
+  in
+  if IntSet.is_empty s then H.remove t.out waiter else H.replace t.out waiter s
+
+let clear_waits_of t txn = H.remove t.out txn
+
+let remove_txn t txn =
+  H.remove t.out txn;
+  let to_update =
+    H.fold
+      (fun w s acc -> if IntSet.mem txn s then (w, s) :: acc else acc)
+      t.out []
+  in
+  List.iter
+    (fun (w, s) ->
+      let s' = IntSet.remove txn s in
+      if IntSet.is_empty s' then H.remove t.out w else H.replace t.out w s')
+    to_update
+
+let waits_of t txn =
+  match H.find_opt t.out txn with
+  | Some s -> IntSet.elements s
+  | None -> []
+
+let edges t =
+  H.fold (fun w s acc -> IntSet.fold (fun h acc -> (w, h) :: acc) s acc) t.out []
+  |> List.sort compare
+
+let txns t =
+  let set =
+    H.fold
+      (fun w s acc -> IntSet.union (IntSet.add w acc) s)
+      t.out IntSet.empty
+  in
+  IntSet.elements set
+
+let find_cycle t =
+  (* Iterative DFS with a colour map; visits vertices in sorted order so the
+     answer is deterministic. *)
+  let color = H.create 32 in
+  (* 0 = white (absent), 1 = grey (on stack), 2 = black *)
+  let result = ref None in
+  let rec dfs path txn =
+    match H.find_opt color txn with
+    | Some 2 -> ()
+    | Some 1 ->
+      (* Found a back edge: extract the cycle from the path. *)
+      if !result = None then begin
+        let rec take acc = function
+          | [] -> acc
+          | x :: rest -> if x = txn then x :: acc else take (x :: acc) rest
+        in
+        result := Some (take [] path)
+      end
+    | _ ->
+      H.replace color txn 1;
+      let succs = waits_of t txn in
+      List.iter (fun s -> if !result = None then dfs (txn :: path) s) succs;
+      H.replace color txn 2
+  in
+  let starts = List.sort compare (H.fold (fun w _ acc -> w :: acc) t.out []) in
+  List.iter (fun v -> if !result = None then dfs [] v) starts;
+  !result
+
+let union graphs =
+  let t = create () in
+  List.iter
+    (fun g ->
+      H.iter
+        (fun w s -> add_wait t ~waiter:w ~holders:(IntSet.elements s))
+        g.out)
+    graphs;
+  t
+
+let copy t = union [ t ]
+
+let size t = H.fold (fun _ s acc -> acc + IntSet.cardinal s) t.out 0
+
+let pp ppf t =
+  List.iter (fun (w, h) -> Format.fprintf ppf "%d -> %d@." w h) (edges t)
+
+let clear t = H.reset t.out

@@ -1,0 +1,1 @@
+lib/net/net.ml: Dtx_sim Dtx_util

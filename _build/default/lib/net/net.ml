@@ -1,0 +1,63 @@
+module Sim = Dtx_sim.Sim
+
+type profile = {
+  base_latency_ms : float;
+  per_kb_ms : float;
+}
+
+let lan = { base_latency_ms = 0.35; per_kb_ms = 0.08 }
+
+let wan = { base_latency_ms = 20.0; per_kb_ms = 0.8 }
+
+module Rng = Dtx_util.Rng
+
+type t = {
+  sim : Sim.t;
+  base_latency_ms : float;
+  per_kb_ms : float;
+  drop_pct : int;
+  rng : Rng.t;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable dropped : int;
+}
+
+let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
+    ?(seed = 1) () =
+  if drop_pct < 0 || drop_pct > 100 then invalid_arg "Net.create: drop_pct";
+  let pick override dflt = match override with Some v -> v | None -> dflt in
+  { sim;
+    base_latency_ms = pick base_latency_ms profile.base_latency_ms;
+    per_kb_ms = pick per_kb_ms profile.per_kb_ms;
+    drop_pct;
+    rng = Rng.create seed;
+    messages = 0;
+    bytes = 0;
+    dropped = 0 }
+
+let latency t ~src ~dst ~bytes =
+  if src = dst then 0.0
+  else t.base_latency_ms +. (t.per_kb_ms *. (float_of_int bytes /. 1024.0))
+
+let send t ~src ~dst ?(bytes = 256) ?(reliable = true) k =
+  let delay = latency t ~src ~dst ~bytes in
+  if src <> dst then begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes
+  end;
+  if
+    src <> dst && (not reliable) && t.drop_pct > 0
+    && Rng.pct t.rng t.drop_pct
+  then t.dropped <- t.dropped + 1
+  else ignore (Sim.schedule t.sim ~delay k)
+
+let messages t = t.messages
+
+let dropped t = t.dropped
+
+let bytes_sent t = t.bytes
+
+let reset_counters t =
+  t.messages <- 0;
+  t.bytes <- 0;
+  t.dropped <- 0

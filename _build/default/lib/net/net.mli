@@ -1,0 +1,65 @@
+(** Simulated message passing between DTX sites.
+
+    Every inter-scheduler interaction of the paper — remote operations and
+    their status replies (Alg. 1 l. 13, Alg. 2 l. 13), commit/abort/fail
+    messages (Algs. 5–6), and the deadlock detector's wait-for-graph requests
+    (Alg. 4 l. 4) — crosses this layer. Each message costs a base latency
+    plus a per-byte term, modelling the paper's 100 Mbit/s switched LAN;
+    local (same-site) deliveries are free but still go through the event
+    queue, preserving causal ordering.
+
+    Traffic counters feed the experiment reports (the "communication and
+    synchronization overhead" visible in the total-replication results). *)
+
+type t
+
+type profile = {
+  base_latency_ms : float;  (** one-way latency floor *)
+  per_kb_ms : float;  (** serialization cost per KiB *)
+}
+
+val lan : profile
+(** The paper's testbed: a 100 Mbit/s switched LAN
+    ([base_latency_ms = 0.35], [per_kb_ms = 0.08]). *)
+
+val wan : profile
+(** The paper's future-work target ("evaluate DTX in WAN environments"):
+    ~20 ms one-way latency, ~10 Mbit/s ([base_latency_ms = 20.0],
+    [per_kb_ms = 0.8]). *)
+
+val create :
+  sim:Dtx_sim.Sim.t ->
+  ?profile:profile ->
+  ?base_latency_ms:float ->
+  ?per_kb_ms:float ->
+  ?drop_pct:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults to {!lan}; the scalar arguments override the profile's
+    fields individually. [drop_pct] (default 0) makes the link lossy:
+    each unreliable remote message is dropped with that probability
+    (deterministically, from [seed]). *)
+
+val send :
+  t -> src:int -> dst:int -> ?bytes:int -> ?reliable:bool -> (unit -> unit) ->
+  unit
+(** [send net ~src ~dst k] delivers [k] after the link delay. [bytes]
+    (default 256) sizes the message. [src = dst] delivers at the next event
+    with no delay and is not counted as network traffic. [reliable]
+    (default [true]) exempts the message from loss — commit/abort/ack/wake
+    traffic rides a retransmitting channel; only operation shipments and
+    their status replies are sent unreliably by the cluster. *)
+
+val latency : t -> src:int -> dst:int -> bytes:int -> float
+(** The delay a message would incur. *)
+
+val messages : t -> int
+(** Remote messages sent so far. *)
+
+val dropped : t -> int
+(** Unreliable messages lost to [drop_pct]. *)
+
+val bytes_sent : t -> int
+
+val reset_counters : t -> unit

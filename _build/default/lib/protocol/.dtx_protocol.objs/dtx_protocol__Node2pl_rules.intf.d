@@ -1,0 +1,1 @@
+lib/protocol/node2pl_rules.mli: Dtx_locks Dtx_update Dtx_xml

@@ -1,0 +1,1 @@
+lib/protocol/protocol.ml: Dtx_dataguide Dtx_locks Dtx_update Dtx_xml Hashtbl List Node2pl_rules Printf String Tadom_rules Xdgl_rules Xdgl_value_rules

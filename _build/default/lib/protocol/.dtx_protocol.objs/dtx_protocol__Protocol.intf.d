@@ -1,0 +1,1 @@
+lib/protocol/protocol.mli: Dtx_dataguide Dtx_locks Dtx_update Dtx_xml

@@ -1,0 +1,1 @@
+lib/protocol/tadom_rules.ml: Dtx_locks Dtx_update Dtx_xml Dtx_xpath List

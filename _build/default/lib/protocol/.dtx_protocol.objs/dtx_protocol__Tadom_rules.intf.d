@@ -1,0 +1,1 @@
+lib/protocol/tadom_rules.mli: Dtx_locks Dtx_update Dtx_xml

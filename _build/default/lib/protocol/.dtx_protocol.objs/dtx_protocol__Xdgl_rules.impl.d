@@ -1,0 +1,1 @@
+lib/protocol/xdgl_rules.ml: Dtx_dataguide Dtx_locks Dtx_update Dtx_xpath List String

@@ -1,0 +1,1 @@
+lib/protocol/xdgl_rules.mli: Dtx_dataguide Dtx_locks Dtx_update

@@ -1,0 +1,1 @@
+lib/protocol/xdgl_value_rules.ml: Dtx_dataguide Dtx_locks Dtx_update Dtx_xml Dtx_xpath List Xdgl_rules

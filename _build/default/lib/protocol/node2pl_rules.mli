@@ -1,0 +1,23 @@
+(** Tree-locking rules over {e document} nodes — the paper's stand-in for
+    related-work protocols ("DTX with locks in trees", §3).
+
+    Evaluation {e navigation} lock-couples through every document node the
+    evaluator passes ("nodes are locked from the query starting point all
+    the way down", §1): each visited node costs a lock request, but coupling
+    releases the lock as the traversal moves on, so only the target
+    path/subtree locks are {e retained} until commit (shared-tree for reads,
+    exclusive for updates, intention locks on ancestors). Lock-processing
+    work is therefore proportional to the {e document} region scanned — the
+    overhead the paper attributes to these protocols: "if the document
+    grows, the number of locks also increases" — while the retained locks
+    are per-document-node, finer than XDGL's shared label-path nodes, which
+    is why the paper observes {e fewer} deadlocks for the tree protocol. *)
+
+val requests :
+  Dtx_xml.Doc.t ->
+  Dtx_update.Op.t ->
+  (Dtx_locks.Table.resource * Dtx_locks.Mode.t) list * int
+(** [(retained, processed)]: the deduplicated lock set the operation holds
+    until transaction end, and the total number of lock requests the
+    LockManager processed (retained + the transient lock-coupling requests
+    of navigation). Resources are document node ids. *)

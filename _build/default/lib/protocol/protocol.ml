@@ -1,0 +1,106 @@
+module Doc = Dtx_xml.Doc
+module Dg = Dtx_dataguide.Dataguide
+module Op = Dtx_update.Op
+module Exec = Dtx_update.Exec
+module Mode = Dtx_locks.Mode
+module Table = Dtx_locks.Table
+
+type kind = Xdgl | Node2pl | Doc2pl | Tadom | Xdgl_value
+
+let kind_to_string = function
+  | Xdgl -> "XDGL"
+  | Node2pl -> "Node2PL"
+  | Doc2pl -> "Doc2PL"
+  | Tadom -> "taDOM"
+  | Xdgl_value -> "XDGL+VL"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "xdgl" -> Some Xdgl
+  | "node2pl" -> Some Node2pl
+  | "doc2pl" -> Some Doc2pl
+  | "tadom" -> Some Tadom
+  | "xdgl+vl" | "xdgl-vl" | "xdglvl" -> Some Xdgl_value
+  | _ -> None
+
+type t = {
+  kind : kind;
+  docs : (string, Doc.t) Hashtbl.t;
+  guides : (string, Dg.t) Hashtbl.t;  (* populated for Xdgl only *)
+}
+
+let create kind = { kind; docs = Hashtbl.create 8; guides = Hashtbl.create 8 }
+
+let kind t = t.kind
+
+let name t = kind_to_string t.kind
+
+let add_doc t (doc : Doc.t) =
+  Hashtbl.replace t.docs doc.Doc.name doc;
+  match t.kind with
+  | Xdgl | Xdgl_value -> Hashtbl.replace t.guides doc.Doc.name (Dg.build doc)
+  | Node2pl | Doc2pl | Tadom -> ()
+
+let doc t name = Hashtbl.find_opt t.docs name
+
+let docs t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.docs [] |> List.sort compare
+
+let lock_requests t ~doc:doc_name op =
+  match Hashtbl.find_opt t.docs doc_name with
+  | None -> Error (Printf.sprintf "%s: unknown document %s" (name t) doc_name)
+  | Some d -> (
+    match t.kind with
+    | Xdgl -> (
+      match Hashtbl.find_opt t.guides doc_name with
+      | None -> Error (Printf.sprintf "XDGL: no DataGuide for %s" doc_name)
+      | Some dg ->
+        let requests = Xdgl_rules.requests dg op in
+        Ok (requests, List.length requests))
+    | Xdgl_value -> (
+      match Hashtbl.find_opt t.guides doc_name with
+      | None -> Error (Printf.sprintf "XDGL+VL: no DataGuide for %s" doc_name)
+      | Some dg ->
+        let requests = Xdgl_value_rules.requests dg d op in
+        Ok (requests, List.length requests))
+    | Node2pl ->
+      let requests, processed = Node2pl_rules.requests d op in
+      Ok (requests, processed)
+    | Tadom ->
+      let requests, processed = Tadom_rules.requests d op in
+      Ok (requests, processed)
+    | Doc2pl ->
+      (* One lock on the whole document: pseudo-node 0. *)
+      let mode = if Op.is_update op then Mode.X else Mode.ST in
+      Ok ([ (Table.resource doc_name 0, mode) ], 1))
+
+let note_applied t ~doc:doc_name deltas =
+  match t.kind with
+  | Node2pl | Doc2pl | Tadom -> ()
+  | Xdgl | Xdgl_value -> (
+    match Hashtbl.find_opt t.guides doc_name with
+    | None -> ()
+    | Some dg ->
+      List.iter
+        (fun delta ->
+          match delta with
+          | Exec.Dg_add path -> ignore (Dg.add_instance dg path)
+          | Exec.Dg_remove path -> Dg.remove_instance dg path)
+        deltas)
+
+let structure_size t doc_name =
+  match t.kind with
+  | Xdgl | Xdgl_value -> (
+    match Hashtbl.find_opt t.guides doc_name with
+    | Some dg -> Dg.size dg
+    | None -> 0)
+  | Node2pl | Tadom -> (
+    match Hashtbl.find_opt t.docs doc_name with
+    | Some d -> Doc.size d
+    | None -> 0)
+  | Doc2pl -> if Hashtbl.mem t.docs doc_name then 1 else 0
+
+let dataguide t doc_name =
+  match t.kind with
+  | Xdgl | Xdgl_value -> Hashtbl.find_opt t.guides doc_name
+  | Node2pl | Doc2pl | Tadom -> None

@@ -1,0 +1,74 @@
+(** Pluggable concurrency-control protocols.
+
+    The paper stresses that DTX "was conceived in a flexible fashion, so that
+    other concurrency control protocols can be employed" — its own evaluation
+    swaps XDGL for Node2PL while keeping every other DTX component. This
+    module is that seam: a protocol instance owns a site's document replicas
+    plus whatever lock-representation structure it needs (a DataGuide for
+    XDGL, nothing extra for the tree/document protocols), and translates each
+    operation into the list of (resource, mode) lock requests its rules
+    demand. The lock table, scheduler, network and deadlock detector are
+    shared by all protocols.
+
+    Four protocols are provided:
+    - {b XDGL} — the paper's protocol: multi-granularity locks on DataGuide
+      nodes (see {!Xdgl_rules} for the per-operation rules).
+    - {b Node2PL} — tree locks on {e document} nodes: an operation locks the
+      whole subtree it touches, node by node, which is what the paper uses
+      to stand in for related work ("locks in trees").
+    - {b Doc2PL} — the "traditional technique" of §3.2: one lock for the
+      entire document.
+    - {b taDOM} — the future-work extension (§5): taDOM-style
+      multi-granularity locks on document nodes with intention-locked
+      ancestor paths (see {!Tadom_rules}).
+    - {b XDGL+VL} — XDGL with the original paper's value locks for
+      predicates (see {!Xdgl_value_rules}). *)
+
+type kind = Xdgl | Node2pl | Doc2pl | Tadom | Xdgl_value
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+
+type t
+
+val create : kind -> t
+(** A fresh protocol instance managing no documents yet. *)
+
+val kind : t -> kind
+
+val name : t -> string
+
+val add_doc : t -> Dtx_xml.Doc.t -> unit
+(** Hand a document replica to the instance (builds the DataGuide for XDGL).
+    Replaces any same-named document. *)
+
+val doc : t -> string -> Dtx_xml.Doc.t option
+
+val docs : t -> string list
+(** Names of managed documents, sorted. *)
+
+val lock_requests :
+  t -> doc:string -> Dtx_update.Op.t ->
+  ((Dtx_locks.Table.resource * Dtx_locks.Mode.t) list * int, string) result
+(** [(requests, processed)] — the deduplicated lock set this operation must
+    {e hold} on [doc] under this protocol, plus the number of lock requests
+    the LockManager {e processes} to compute it ([processed >= length
+    requests]). For Node2PL the two differ: navigation lock-couples through
+    every node the evaluation visits (paying per-visit lock processing) but
+    retains only the target path/subtree locks. [Error _] if the document
+    is unknown. An empty list is possible (the operation cannot touch
+    anything here, e.g. its path matches nothing). *)
+
+val note_applied : t -> doc:string -> Dtx_update.Exec.dg_delta list -> unit
+(** Maintain the protocol's lock-representation structure after an operation
+    (or an undo) changed the document. No-op for Node2PL/Doc2PL. *)
+
+val structure_size : t -> string -> int
+(** Size of the lock-representation structure for [doc]: DataGuide nodes for
+    XDGL, document nodes for Node2PL, 1 for Doc2PL. This is the "summarized
+    data structure" advantage the paper measures indirectly. *)
+
+val dataguide : t -> string -> Dtx_dataguide.Dataguide.t option
+(** The DataGuide backing [doc] (XDGL only; [None] otherwise). Exposed for
+    tests and for the examples that print Fig.-5-style views. *)

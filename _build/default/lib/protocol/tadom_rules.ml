@@ -1,0 +1,77 @@
+module Node = Dtx_xml.Node
+module Doc = Dtx_xml.Doc
+module Ast = Dtx_xpath.Ast
+module Eval = Dtx_xpath.Eval
+module Op = Dtx_update.Op
+module Mode = Dtx_locks.Mode
+module Table = Dtx_locks.Table
+
+let res (doc : Doc.t) (n : Node.t) = Table.resource doc.Doc.name n.Node.id
+
+(* [mode] on the node itself; intention locks up the ancestor path — the
+   taDOM shape: the subtree is protected implicitly, not node by node. *)
+let with_ancestors doc mode (n : Node.t) =
+  let up = Mode.intention_for mode in
+  (res doc n, mode) :: List.map (fun a -> (res doc a, up)) (Node.ancestors n)
+
+(* taDOM locks the exact target set (predicates applied): lock acquisition
+   and execution are atomic at a site, so the evaluated targets are exactly
+   the nodes the operation touches, and predicate reads are covered by the
+   separate predicate locks. This is what makes taDOM finer-grained than
+   the structural protocols. *)
+let main_targets doc (p : Ast.path) = Eval.select doc p
+
+let concat_path (prefix : Ast.path) (rel : Ast.path) =
+  { Ast.absolute = prefix.Ast.absolute; steps = prefix.Ast.steps @ rel.Ast.steps }
+
+let predicate_locks doc (p : Ast.path) =
+  List.concat_map
+    (fun (prefix, rel) ->
+      let full = Ast.without_predicates (concat_path prefix rel) in
+      List.concat_map (with_ancestors doc Mode.ST) (Eval.select doc full))
+    (Ast.predicate_paths p)
+
+let parent_or_self (n : Node.t) =
+  match n.Node.parent with Some p -> p | None -> n
+
+let insert_mode = function
+  | Op.Into -> Mode.SI
+  | Op.After -> Mode.SA
+  | Op.Before -> Mode.SB
+
+let requests doc (op : Op.t) =
+  let retained =
+    match op with
+    | Op.Query p ->
+      List.concat_map (with_ancestors doc Mode.ST) (main_targets doc p)
+      @ predicate_locks doc p
+    | Op.Insert { target; pos; _ } ->
+      let tnodes = main_targets doc target in
+      let connects =
+        match pos with
+        | Op.Into -> tnodes
+        | Op.After | Op.Before -> List.map parent_or_self tnodes
+      in
+      (* SI/SA/SB is taDOM's child-exclusive guard on the connect node: it
+         admits concurrent inserts under the same parent but blocks subtree
+         readers (ST) and exclusives. The new content itself needs no lock —
+         no concurrent operation can name it yet. *)
+      List.concat_map (with_ancestors doc (insert_mode pos)) connects
+      @ predicate_locks doc target
+    | Op.Remove p ->
+      List.concat_map (with_ancestors doc Mode.XT) (main_targets doc p)
+      @ predicate_locks doc p
+    | Op.Rename { target; _ } ->
+      List.concat_map (with_ancestors doc Mode.XT) (main_targets doc target)
+      @ predicate_locks doc target
+    | Op.Change { target; _ } ->
+      List.concat_map (with_ancestors doc Mode.X) (main_targets doc target)
+      @ predicate_locks doc target
+    | Op.Transpose { source; dest } ->
+      List.concat_map (with_ancestors doc Mode.XT) (main_targets doc source)
+      @ List.concat_map (with_ancestors doc Mode.SI) (main_targets doc dest)
+      @ predicate_locks doc source
+      @ predicate_locks doc dest
+  in
+  let retained = List.sort_uniq compare retained in
+  (retained, List.length retained)

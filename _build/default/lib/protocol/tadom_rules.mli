@@ -1,0 +1,27 @@
+(** taDOM-style multi-granularity locking on {e document} nodes — the
+    "other concurrency control protocols" the paper's future work proposes
+    plugging into DTX (§5), modelled on Haustein & Härder's taDOM family
+    (the winner of their "Contest of XML lock protocols", which the paper
+    cites as [21]).
+
+    Unlike Node2PL, taDOM does not lock whole subtrees node by node: a
+    subtree lock on the target plus {e intention locks on the ancestor
+    path} protect the region implicitly, and navigation uses jump locks
+    that cost nothing to retain. The lock set is therefore proportional to
+    [targets × depth] — as cheap as XDGL's — while conflicts are
+    {e per document node}, finer than XDGL's shared label-path nodes (two
+    inserts under different parents with the same label path do not
+    conflict). The expected profile, which the bench ablation confirms:
+    response times at XDGL's level with {e fewer} deadlocks.
+
+    Mode mapping onto {!Dtx_locks.Mode}: taDOM's SR (subtree read) → [ST],
+    node exclusive → [X], subtree exclusive → [XT], CX (child-insert
+    exclusive) → [SI]/[SA]/[SB], IR/IX intention → [IS]/[IX]. *)
+
+val requests :
+  Dtx_xml.Doc.t ->
+  Dtx_update.Op.t ->
+  (Dtx_locks.Table.resource * Dtx_locks.Mode.t) list * int
+(** [(retained, processed)] — as {!Node2pl_rules.requests}, but with
+    path-proportional lock sets and no navigation charge beyond the
+    retained set. Resources are document node ids. *)

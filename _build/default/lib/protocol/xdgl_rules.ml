@@ -1,0 +1,110 @@
+module Dg = Dtx_dataguide.Dataguide
+module Ast = Dtx_xpath.Ast
+module Op = Dtx_update.Op
+module Mode = Dtx_locks.Mode
+module Table = Dtx_locks.Table
+
+let frag_root_label fragment =
+  let n = String.length fragment in
+  let rec find_lt i = if i >= n then None else if fragment.[i] = '<' then Some (i + 1) else find_lt (i + 1) in
+  match find_lt 0 with
+  | None -> None
+  | Some start ->
+    let is_name_char c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      || c = '_' || c = '-' || c = '.' || c = ':'
+    in
+    let rec stop i = if i < n && is_name_char fragment.[i] then stop (i + 1) else i in
+    let e = stop start in
+    if e = start then None else Some (String.sub fragment start (e - start))
+
+let res (dg : Dg.t) (n : Dg.node) = Table.resource dg.Dg.doc_name n.Dg.dg_id
+
+(* A lock on [n] plus the intention lock on each ancestor. *)
+let with_ancestors dg mode (n : Dg.node) =
+  let up = Mode.intention_for mode in
+  (res dg n, mode) :: List.map (fun a -> (res dg a, up)) (Dg.ancestors n)
+
+let concat_path (prefix : Ast.path) (rel : Ast.path) =
+  { Ast.absolute = prefix.Ast.absolute; steps = prefix.Ast.steps @ rel.Ast.steps }
+
+(* ST on every node a predicate can read, IS above. *)
+let predicate_locks dg (p : Ast.path) =
+  List.concat_map
+    (fun (prefix, rel) ->
+      let full = Ast.without_predicates (concat_path prefix rel) in
+      List.concat_map (with_ancestors dg Mode.ST) (Dg.match_path dg full))
+    (Ast.predicate_paths p)
+
+let main_targets dg (p : Ast.path) = Dg.match_path dg (Ast.without_predicates p)
+
+(* The DataGuide node where content with root label [l] lives when attached
+   under [connect]; created (count 0) if the label path is new. *)
+let new_location dg (connect : Dg.node) label =
+  Dg.ensure_path dg (Dg.label_path connect @ [ label ])
+
+let parent_or_self (n : Dg.node) =
+  match n.Dg.parent with Some p -> p | None -> n
+
+let insert_mode = function
+  | Op.Into -> Mode.SI
+  | Op.After -> Mode.SA
+  | Op.Before -> Mode.SB
+
+let requests dg (op : Op.t) =
+  let locks =
+    match op with
+    | Op.Query p ->
+      List.concat_map (with_ancestors dg Mode.ST) (main_targets dg p)
+      @ predicate_locks dg p
+    | Op.Insert { target; pos; fragment } ->
+      let tnodes = main_targets dg target in
+      let connects =
+        match pos with
+        | Op.Into -> tnodes
+        | Op.After | Op.Before -> List.map parent_or_self tnodes
+      in
+      let frag_label = frag_root_label fragment in
+      let new_nodes =
+        match frag_label with
+        | None -> []
+        | Some l -> List.map (fun c -> new_location dg c l) connects
+      in
+      List.concat_map (with_ancestors dg Mode.X) new_nodes
+      @ List.concat_map (with_ancestors dg (insert_mode pos)) connects
+      @ predicate_locks dg target
+    | Op.Remove p ->
+      List.concat_map (with_ancestors dg Mode.XT) (main_targets dg p)
+      @ predicate_locks dg p
+    | Op.Rename { target; new_label } ->
+      let tnodes = main_targets dg target in
+      let new_nodes =
+        List.filter_map
+          (fun n ->
+            match n.Dg.parent with
+            | Some p -> Some (new_location dg p new_label)
+            | None -> None)
+          tnodes
+      in
+      List.concat_map (with_ancestors dg Mode.XT) tnodes
+      @ List.concat_map (with_ancestors dg Mode.X) new_nodes
+      @ predicate_locks dg target
+    | Op.Change { target; _ } ->
+      List.concat_map (with_ancestors dg Mode.X) (main_targets dg target)
+      @ predicate_locks dg target
+    | Op.Transpose { source; dest } ->
+      let snodes = main_targets dg source in
+      let dnodes = main_targets dg dest in
+      let new_nodes =
+        List.concat_map
+          (fun (s : Dg.node) ->
+            List.map (fun d -> new_location dg d s.Dg.label) dnodes)
+          snodes
+      in
+      List.concat_map (with_ancestors dg Mode.XT) snodes
+      @ List.concat_map (with_ancestors dg Mode.SI) dnodes
+      @ List.concat_map (with_ancestors dg Mode.X) new_nodes
+      @ predicate_locks dg source
+      @ predicate_locks dg dest
+  in
+  List.sort_uniq compare locks

@@ -1,0 +1,28 @@
+(** XDGL's per-operation locking rules over a DataGuide (paper §2):
+
+    - {b query}: ST on each target DataGuide node, IS on its ancestors; the
+      nodes named by path-expression predicates also get ST (+ IS above).
+    - {b insert}: X on the DataGuide node where the new content will live and
+      IX on its ancestors; SI (into) / SA (after) / SB (before) on the node
+      the new content connects to, IS on its ancestors; predicate nodes ST/IS.
+    - {b remove}: XT on the target nodes (the whole subtree goes), IX on
+      ancestors; predicate nodes ST/IS.
+    - {b rename}: XT on the target (its subtree's label paths all change), IX
+      above; X on the path the node moves to, IX above.
+    - {b change}: X on the target node, IX on ancestors.
+    - {b transpose}: XT on the source, SI on the destination, X on the new
+      location, with the matching intention locks above each.
+
+    Lock targets are computed {e structurally} (predicates ignored for the
+    main path), so the lock set always covers every document node the
+    operation could touch. *)
+
+val requests :
+  Dtx_dataguide.Dataguide.t ->
+  Dtx_update.Op.t ->
+  (Dtx_locks.Table.resource * Dtx_locks.Mode.t) list
+(** The deduplicated XDGL lock set for the operation. May create zero-count
+    DataGuide nodes for insert/rename/transpose new locations. *)
+
+val frag_root_label : string -> string option
+(** Root element name of an XML fragment text, if scannable. *)

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Dtx_util Hashtbl

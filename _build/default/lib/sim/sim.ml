@@ -1,0 +1,81 @@
+module Heap = Dtx_util.Heap
+
+type event = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+}
+
+type event_id = int
+
+type t = {
+  mutable clock : float;
+  mutable next_seq : int;
+  queue : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+}
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  { clock = 0.0;
+    next_seq = 0;
+    queue = Heap.create ~cmp:cmp_event;
+    cancelled = Hashtbl.create 16 }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  let time = if time < t.clock then t.clock else time in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.queue { time; seq; action };
+  seq
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let rec every t ~period ?start f =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  let delay = match start with Some s -> s | None -> period in
+  ignore
+    (schedule t ~delay (fun () -> if f () then every t ~period ~start:period f))
+
+let pending t = Heap.length t.queue
+
+let fire t ev =
+  t.clock <- ev.time;
+  if Hashtbl.mem t.cancelled ev.seq then Hashtbl.remove t.cancelled ev.seq
+  else ev.action ()
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    fire t ev;
+    true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let continue () =
+    match max_events with Some m -> !fired < m | None -> true
+  in
+  let in_horizon ev =
+    match until with Some u -> ev.time <= u | None -> true
+  in
+  let rec loop () =
+    if continue () then
+      match Heap.peek t.queue with
+      | Some ev when in_horizon ev ->
+        ignore (Heap.pop t.queue);
+        fire t ev;
+        incr fired;
+        loop ()
+      | _ -> ()
+  in
+  loop ()

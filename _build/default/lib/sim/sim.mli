@@ -1,0 +1,48 @@
+(** Deterministic discrete-event simulator.
+
+    The whole DTX cluster runs inside one of these: sites, clients, the
+    network and the periodic deadlock detector are all callbacks scheduled on
+    a single virtual clock. Events with equal timestamps fire in scheduling
+    (FIFO) order, which — together with the seeded {!Dtx_util.Rng} — makes
+    every experiment bit-for-bit reproducible.
+
+    Time is a [float] in {e simulated milliseconds}. *)
+
+type t
+
+type event_id
+(** Handle for a scheduled event, usable with {!cancel}. *)
+
+val create : unit -> t
+(** A fresh simulator with clock at [0.0]. *)
+
+val now : t -> float
+(** Current virtual time (ms). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> event_id
+(** [schedule sim ~delay f] runs [f] at [now sim +. delay]. [delay] must be
+    non-negative. @raise Invalid_argument on a negative delay. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+(** [schedule_at sim ~time f] runs [f] at absolute [time] (clamped to [now] if
+    in the past). *)
+
+val cancel : t -> event_id -> unit
+(** [cancel sim id] prevents a pending event from firing; cancelling an
+    already-fired or unknown event is a no-op. *)
+
+val every : t -> period:float -> ?start:float -> (unit -> bool) -> unit
+(** [every sim ~period f] runs [f] at [start] (default [period]) and then
+    every [period] ms for as long as [f] returns [true]. This is how the
+    distributed deadlock detector is driven. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** [run sim] processes events in timestamp order until the queue drains, the
+    clock passes [until], or [max_events] events have fired. The clock ends at
+    the last processed event's time. *)
+
+val step : t -> bool
+(** [step sim] processes exactly one event; [false] if the queue was empty. *)

@@ -1,0 +1,1 @@
+lib/storage/paged.ml: Buffer Bytes Dtx_xml Int64 List Pager Printf String

@@ -1,0 +1,1 @@
+lib/storage/paged.mli: Dtx_xml Pager

@@ -1,0 +1,1 @@
+lib/storage/storage.ml: Array Buffer Char Dtx_xml Filename Hashtbl List Paged Printf String Sys

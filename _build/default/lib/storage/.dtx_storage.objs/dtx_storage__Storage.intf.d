@@ -1,0 +1,1 @@
+lib/storage/storage.mli: Dtx_xml

@@ -1,0 +1,213 @@
+module Doc = Dtx_xml.Doc
+module Printer = Dtx_xml.Printer
+module Xml_parser = Dtx_xml.Parser
+
+let magic = "DTXP"
+
+let header_free_off = 8
+
+let header_dir_off = 16
+
+(* Chain page layout: next id (8 bytes, big-endian) | used (2 bytes) |
+   payload. *)
+let chain_payload = Pager.page_size - 10
+
+type t = {
+  pager : Pager.t;
+  mutable free_head : int;  (* 0 = empty *)
+  mutable dir_head : int;  (* 0 = no directory yet *)
+  mutable dir : (string * int) list;  (* name -> chain head, sorted *)
+}
+
+(* --- header --------------------------------------------------------------- *)
+
+let read_header t =
+  let page = Pager.read t.pager 0 in
+  let m = Bytes.sub_string page 0 4 in
+  if m = "\000\000\000\000" then begin
+    (* Fresh file: write the magic. *)
+    Bytes.blit_string magic 0 page 0 4;
+    Pager.write t.pager 0 page;
+    t.free_head <- 0;
+    t.dir_head <- 0
+  end
+  else if m <> magic then failwith "Paged.open_store: not a DTXP file"
+  else begin
+    t.free_head <- Int64.to_int (Bytes.get_int64_be page header_free_off);
+    t.dir_head <- Int64.to_int (Bytes.get_int64_be page header_dir_off)
+  end
+
+let write_header t =
+  let page = Pager.read t.pager 0 in
+  Bytes.blit_string magic 0 page 0 4;
+  Bytes.set_int64_be page header_free_off (Int64.of_int t.free_head);
+  Bytes.set_int64_be page header_dir_off (Int64.of_int t.dir_head);
+  Pager.write t.pager 0 page
+
+(* --- chains --------------------------------------------------------------- *)
+
+let take_free_page t =
+  if t.free_head = 0 then Pager.alloc t.pager
+  else begin
+    let id = t.free_head in
+    let page = Pager.read t.pager id in
+    t.free_head <- Int64.to_int (Bytes.get_int64_be page 0);
+    id
+  end
+
+let free_chain t head =
+  (* Push every page of the chain onto the free list. *)
+  let rec go id =
+    if id <> 0 then begin
+      let page = Pager.read t.pager id in
+      let next = Int64.to_int (Bytes.get_int64_be page 0) in
+      Bytes.set_int64_be page 0 (Int64.of_int t.free_head);
+      Pager.write t.pager id page;
+      t.free_head <- id;
+      go next
+    end
+  in
+  go head
+
+let write_chain t (data : string) =
+  let len = String.length data in
+  let n_pages = max 1 ((len + chain_payload - 1) / chain_payload) in
+  let ids = List.init n_pages (fun _ -> take_free_page t) in
+  let rec emit ids off =
+    match ids with
+    | [] -> ()
+    | id :: rest ->
+      let chunk = min chain_payload (len - off) in
+      let page = Bytes.make Pager.page_size '\000' in
+      let next = match rest with [] -> 0 | n :: _ -> n in
+      Bytes.set_int64_be page 0 (Int64.of_int next);
+      Bytes.set_uint16_be page 8 (max 0 chunk);
+      if chunk > 0 then Bytes.blit_string data off page 10 chunk;
+      Pager.write t.pager id page;
+      emit rest (off + chunk)
+  in
+  emit ids 0;
+  List.hd ids
+
+let read_chain t head =
+  let buf = Buffer.create 4096 in
+  let rec go id =
+    if id <> 0 then begin
+      let page = Pager.read t.pager id in
+      let next = Int64.to_int (Bytes.get_int64_be page 0) in
+      let used = Bytes.get_uint16_be page 8 in
+      Buffer.add_subbytes buf page 10 used;
+      go next
+    end
+  in
+  go head;
+  Buffer.contents buf
+
+(* --- directory ------------------------------------------------------------ *)
+
+(* One entry per line: "<chain head> <name>" — names may contain anything but
+   a newline; lengths keep parsing unambiguous enough for our encoding
+   because the head is the first token. Newlines in names are escaped. *)
+let encode_name name =
+  String.concat "\\n" (String.split_on_char '\n' name)
+
+let decode_name enc =
+  (* Reverse of encode_name: split on the literal backslash-n pairs. *)
+  let parts = ref [] in
+  let buf = Buffer.create (String.length enc) in
+  let i = ref 0 in
+  let n = String.length enc in
+  while !i < n do
+    if !i + 1 < n && enc.[!i] = '\\' && enc.[!i + 1] = 'n' then begin
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf enc.[!i];
+      incr i
+    end
+  done;
+  parts := Buffer.contents buf :: !parts;
+  String.concat "\n" (List.rev !parts)
+
+let save_directory t =
+  if t.dir_head <> 0 then free_chain t t.dir_head;
+  let text =
+    String.concat "\n"
+      (List.map (fun (name, head) -> Printf.sprintf "%d %s" head (encode_name name)) t.dir)
+  in
+  t.dir_head <- (if t.dir = [] then 0 else write_chain t text);
+  write_header t
+
+let load_directory t =
+  if t.dir_head = 0 then t.dir <- []
+  else
+    t.dir <-
+      read_chain t t.dir_head
+      |> String.split_on_char '\n'
+      |> List.filter_map (fun line ->
+             match String.index_opt line ' ' with
+             | None -> None
+             | Some i ->
+               let head = int_of_string (String.sub line 0 i) in
+               let name =
+                 decode_name (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               Some (name, head))
+
+(* --- public API ------------------------------------------------------------ *)
+
+let open_store ~path ?(pool_pages = 64) () =
+  let pager = Pager.open_file ~path ~pool_pages in
+  let t = { pager; free_head = 0; dir_head = 0; dir = [] } in
+  read_header t;
+  load_directory t;
+  t
+
+let close t =
+  write_header t;
+  Pager.close t.pager
+
+let store t (doc : Doc.t) =
+  (match List.assoc_opt doc.Doc.name t.dir with
+   | Some old_head ->
+     free_chain t old_head;
+     t.dir <- List.remove_assoc doc.Doc.name t.dir
+   | None -> ());
+  let text = Printer.to_string ~indent:false ~decl:false doc in
+  let head = write_chain t text in
+  t.dir <- List.sort compare ((doc.Doc.name, head) :: t.dir);
+  save_directory t;
+  Pager.flush t.pager
+
+let load t name =
+  match List.assoc_opt name t.dir with
+  | None -> None
+  | Some head -> Some (Xml_parser.parse ~name (read_chain t head))
+
+let remove t name =
+  match List.assoc_opt name t.dir with
+  | None -> ()
+  | Some head ->
+    free_chain t head;
+    t.dir <- List.remove_assoc name t.dir;
+    save_directory t;
+    Pager.flush t.pager
+
+let list t = List.map fst t.dir
+
+let mem t name = List.mem_assoc name t.dir
+
+let page_count t = Pager.page_count t.pager
+
+let free_pages t =
+  let rec count id acc =
+    if id = 0 then acc
+    else
+      let page = Pager.read t.pager id in
+      count (Int64.to_int (Bytes.get_int64_be page 0)) (acc + 1)
+  in
+  count t.free_head 0
+
+let pager_stats t = Pager.stats t.pager

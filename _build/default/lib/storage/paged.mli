@@ -1,0 +1,46 @@
+(** A paged, single-file document store over {!Pager} — the future-work
+    storage backend ("mechanisms to avoid that all processing be conducted
+    in the main memory", paper §5).
+
+    Documents are serialized XML split across chains of 4 KiB pages; a
+    directory (itself a page chain anchored in the header page) maps names
+    to chains; freed chains go on a free list and are reused. Only the
+    buffer pool's worth of pages is resident; everything else lives in the
+    file.
+
+    Layout:
+    - page 0 (header): magic ["DTXP"], free-list head, directory chain head;
+    - chain page: 8-byte next-page id (0 terminates), 2-byte payload length,
+      payload. *)
+
+type t
+
+val open_store : path:string -> ?pool_pages:int -> unit -> t
+(** Open or create the store file. [pool_pages] (default 64) sizes the
+    buffer pool. @raise Sys_error on I/O failure, [Failure] on a corrupt
+    header. *)
+
+val close : t -> unit
+(** Flush and close. The store must not be used afterwards. *)
+
+val store : t -> Dtx_xml.Doc.t -> unit
+(** Persist (overwrite) the document under [doc.name]. *)
+
+val load : t -> string -> Dtx_xml.Doc.t option
+
+val remove : t -> string -> unit
+
+val list : t -> string list
+(** Stored names, sorted. *)
+
+val mem : t -> string -> bool
+
+val page_count : t -> int
+(** Size of the backing file in pages (includes free pages awaiting
+    reuse). *)
+
+val free_pages : t -> int
+(** Pages currently on the free list. *)
+
+val pager_stats : t -> Pager.stats
+(** Buffer-pool statistics (hits/misses/evictions/disk traffic). *)

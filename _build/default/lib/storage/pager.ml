@@ -1,0 +1,149 @@
+let page_size = 4096
+
+type frame = {
+  data : bytes;  (* always page_size long *)
+  mutable dirty : bool;
+  mutable last_used : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+}
+
+type t = {
+  fd : Unix.file_descr;
+  pool_pages : int;
+  pool : (int, frame) Hashtbl.t;
+  mutable n_pages : int;
+  mutable clock : int;
+  stats : stats;
+}
+
+let open_file ~path ~pool_pages =
+  if pool_pages < 1 then invalid_arg "Pager.open_file: pool_pages < 1";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let n_pages = max 1 ((size + page_size - 1) / page_size) in
+  let t =
+    { fd;
+      pool_pages;
+      pool = Hashtbl.create (2 * pool_pages);
+      n_pages;
+      clock = 0;
+      stats = { hits = 0; misses = 0; evictions = 0; disk_reads = 0; disk_writes = 0 } }
+  in
+  (* A fresh file needs its header page materialized. *)
+  if size = 0 then begin
+    let zero = Bytes.make page_size '\000' in
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    ignore (Unix.write fd zero 0 page_size);
+    t.stats.disk_writes <- t.stats.disk_writes + 1
+  end;
+  t
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let disk_read t id buf =
+  ignore (Unix.lseek t.fd (id * page_size) Unix.SEEK_SET);
+  let rec fill off =
+    if off < page_size then begin
+      let n = Unix.read t.fd buf off (page_size - off) in
+      if n = 0 then () (* short file: rest stays zero *) else fill (off + n)
+    end
+  in
+  fill 0;
+  t.stats.disk_reads <- t.stats.disk_reads + 1
+
+let disk_write t id (data : bytes) =
+  ignore (Unix.lseek t.fd (id * page_size) Unix.SEEK_SET);
+  let rec drain off =
+    if off < page_size then
+      drain (off + Unix.write t.fd data off (page_size - off))
+  in
+  drain 0;
+  t.stats.disk_writes <- t.stats.disk_writes + 1
+
+let evict_one t =
+  (* LRU: smallest last_used. Linear scan is fine at pool sizes of
+     tens-to-thousands of frames. *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun id frame ->
+      match !victim with
+      | Some (_, best) when best.last_used <= frame.last_used -> ()
+      | _ -> victim := Some (id, frame))
+    t.pool;
+  match !victim with
+  | None -> ()
+  | Some (id, frame) ->
+    if frame.dirty then disk_write t id frame.data;
+    Hashtbl.remove t.pool id;
+    t.stats.evictions <- t.stats.evictions + 1
+
+let room t = if Hashtbl.length t.pool >= t.pool_pages then evict_one t
+
+let frame_of t id ~load =
+  match Hashtbl.find_opt t.pool id with
+  | Some frame ->
+    t.stats.hits <- t.stats.hits + 1;
+    frame.last_used <- tick t;
+    frame
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    room t;
+    let data = Bytes.make page_size '\000' in
+    if load then disk_read t id data;
+    let frame = { data; dirty = false; last_used = tick t } in
+    Hashtbl.replace t.pool id frame;
+    frame
+
+let check_range t id name =
+  if id < 0 || id >= t.n_pages then
+    invalid_arg (Printf.sprintf "Pager.%s: page %d out of range" name id)
+
+let read t id =
+  check_range t id "read";
+  Bytes.copy (frame_of t id ~load:true).data
+
+let write t id data =
+  check_range t id "write";
+  if Bytes.length data <> page_size then invalid_arg "Pager.write: bad size";
+  let frame = frame_of t id ~load:false in
+  Bytes.blit data 0 frame.data 0 page_size;
+  frame.dirty <- true;
+  frame.last_used <- tick t
+
+let alloc t =
+  let id = t.n_pages in
+  t.n_pages <- id + 1;
+  (* Materialize on disk so the file length always covers allocated pages. *)
+  disk_write t id (Bytes.make page_size '\000');
+  room t;
+  Hashtbl.replace t.pool id
+    { data = Bytes.make page_size '\000'; dirty = false; last_used = tick t };
+  id
+
+let page_count t = t.n_pages
+
+let flush t =
+  Hashtbl.iter
+    (fun id frame ->
+      if frame.dirty then begin
+        disk_write t id frame.data;
+        frame.dirty <- false
+      end)
+    t.pool
+
+let close t =
+  flush t;
+  Unix.close t.fd
+
+let stats t = t.stats
+
+let pool_resident t = Hashtbl.length t.pool

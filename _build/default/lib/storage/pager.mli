@@ -1,0 +1,56 @@
+(** A page file with an LRU buffer pool — the disk substrate for the
+    {!Paged} store.
+
+    Pages are fixed-size (4 KiB) blocks addressed by integer ids; page 0 is
+    reserved for the client's header. Reads and writes go through a buffer
+    pool of configurable capacity: hits stay in memory, misses read from
+    disk, and evictions write dirty pages back (write-back caching). This is
+    the "don't keep everything in main memory" machinery the paper lists as
+    future work — the pool can be far smaller than the database.
+
+    Single-process, no latching: DTX serializes site work on the simulated
+    scheduler, so the pager only needs durability, not thread safety. *)
+
+type t
+
+val page_size : int
+(** 4096 bytes. *)
+
+val open_file : path:string -> pool_pages:int -> t
+(** Open (or create) the page file at [path] with a buffer pool of
+    [pool_pages] frames. @raise Invalid_argument if [pool_pages < 1].
+    @raise Sys_error on I/O failure. *)
+
+val close : t -> unit
+(** Flush every dirty page and close the file descriptor. *)
+
+val flush : t -> unit
+(** Write all dirty pooled pages to disk (pool contents are kept). *)
+
+val alloc : t -> int
+(** Extend the file by one zeroed page; returns its id (never 0). *)
+
+val page_count : t -> int
+(** Pages in the file, including page 0. *)
+
+val read : t -> int -> bytes
+(** [read t id] is a fresh copy of the page's 4096 bytes (pool hit or disk
+    read). @raise Invalid_argument if [id] is out of range. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t id data] replaces the page ([data] must be exactly
+    [page_size] bytes; it is copied). Buffered until eviction or
+    {!flush}. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+}
+
+val stats : t -> stats
+
+val pool_resident : t -> int
+(** Pages currently held in the pool (≤ [pool_pages]). *)

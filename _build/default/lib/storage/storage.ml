@@ -1,0 +1,130 @@
+module Doc = Dtx_xml.Doc
+module Printer = Dtx_xml.Printer
+module Xml_parser = Dtx_xml.Parser
+
+type backend =
+  | Memory of (string, Doc.t) Hashtbl.t
+  | Filesystem of string  (* directory *)
+  | Paged_store of Paged.t
+
+type t = {
+  backend : backend;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let memory () = { backend = Memory (Hashtbl.create 16); loads = 0; stores = 0 }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let paged ~path ?pool_pages () =
+  { backend = Paged_store (Paged.open_store ~path ?pool_pages ());
+    loads = 0;
+    stores = 0 }
+
+let backend_name t =
+  match t.backend with
+  | Memory _ -> "memory"
+  | Filesystem _ -> "filesystem"
+  | Paged_store _ -> "paged"
+
+(* Document names may contain characters unfit for file names; hex-escape
+   everything outside [A-Za-z0-9._-]. *)
+let encode_name name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' ->
+        Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    name;
+  Buffer.contents buf
+
+let decode_name enc =
+  let buf = Buffer.create (String.length enc) in
+  let n = String.length enc in
+  let rec loop i =
+    if i < n then
+      if enc.[i] = '%' && i + 2 < n then begin
+        let code = int_of_string ("0x" ^ String.sub enc (i + 1) 2) in
+        Buffer.add_char buf (Char.chr code);
+        loop (i + 3)
+      end
+      else begin
+        Buffer.add_char buf enc.[i];
+        loop (i + 1)
+      end
+  in
+  loop 0;
+  Buffer.contents buf
+
+let path_of dir name = Filename.concat dir (encode_name name ^ ".xml")
+
+let filesystem ~dir =
+  mkdir_p dir;
+  { backend = Filesystem dir; loads = 0; stores = 0 }
+
+let list t =
+  match t.backend with
+  | Memory tbl -> Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+  | Paged_store p -> Paged.list p
+  | Filesystem dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".xml" then
+             Some (decode_name (Filename.chop_suffix f ".xml"))
+           else None)
+    |> List.sort compare
+
+let load t name =
+  t.loads <- t.loads + 1;
+  match t.backend with
+  | Paged_store p -> Paged.load p name
+  | Memory tbl -> (
+    match Hashtbl.find_opt tbl name with
+    | Some doc -> Some (Doc.clone doc)
+    | None -> None)
+  | Filesystem dir ->
+    let file = path_of dir name in
+    if Sys.file_exists file then begin
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      Some (Xml_parser.parse ~name content)
+    end
+    else None
+
+let store t doc =
+  t.stores <- t.stores + 1;
+  match t.backend with
+  | Paged_store p -> Paged.store p doc
+  | Memory tbl -> Hashtbl.replace tbl doc.Doc.name (Doc.clone doc)
+  | Filesystem dir ->
+    let file = path_of dir doc.Doc.name in
+    let oc = open_out_bin file in
+    output_string oc (Printer.to_string ~indent:true doc);
+    close_out oc
+
+let remove t name =
+  match t.backend with
+  | Paged_store p -> Paged.remove p name
+  | Memory tbl -> Hashtbl.remove tbl name
+  | Filesystem dir ->
+    let file = path_of dir name in
+    if Sys.file_exists file then Sys.remove file
+
+let mem t name =
+  match t.backend with
+  | Memory tbl -> Hashtbl.mem tbl name
+  | Paged_store p -> Paged.mem p name
+  | Filesystem dir -> Sys.file_exists (path_of dir name)
+
+let load_count t = t.loads
+
+let store_count t = t.stores

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Array Dtx_update Format List

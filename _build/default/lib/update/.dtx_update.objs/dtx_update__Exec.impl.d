@@ -1,0 +1,1 @@
+lib/update/exec.ml: Dtx_xml Dtx_xpath List Op Printf

@@ -1,0 +1,1 @@
+lib/update/exec.mli: Dtx_xml Op

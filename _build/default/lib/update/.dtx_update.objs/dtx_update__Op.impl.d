@@ -1,0 +1,1 @@
+lib/update/op.ml: Dtx_xpath Format List Printf String

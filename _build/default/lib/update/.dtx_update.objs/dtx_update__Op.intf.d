@@ -1,0 +1,1 @@
+lib/update/op.mli: Dtx_xpath Format

@@ -1,0 +1,172 @@
+module Ast = Dtx_xpath.Ast
+module Xparser = Dtx_xpath.Parser
+
+type position = Into | After | Before
+
+type t =
+  | Query of Ast.path
+  | Insert of { target : Ast.path; pos : position; fragment : string }
+  | Remove of Ast.path
+  | Rename of { target : Ast.path; new_label : string }
+  | Change of { target : Ast.path; new_text : string }
+  | Transpose of { source : Ast.path; dest : Ast.path }
+
+let is_update = function Query _ -> false | _ -> true
+
+let paths = function
+  | Query p | Remove p -> [ p ]
+  | Insert { target; _ } -> [ target ]
+  | Rename { target; _ } -> [ target ]
+  | Change { target; _ } -> [ target ]
+  | Transpose { source; dest } -> [ source; dest ]
+
+let position_to_string = function
+  | Into -> "INTO"
+  | After -> "AFTER"
+  | Before -> "BEFORE"
+
+let to_string = function
+  | Query p -> "QUERY " ^ Ast.to_string p
+  | Insert { target; pos; fragment } ->
+    Printf.sprintf "INSERT %s %s %s" (position_to_string pos)
+      (Ast.to_string target) fragment
+  | Remove p -> "REMOVE " ^ Ast.to_string p
+  | Rename { target; new_label } ->
+    Printf.sprintf "RENAME %s TO %s" (Ast.to_string target) new_label
+  | Change { target; new_text } ->
+    Printf.sprintf "CHANGE %s TO %S" (Ast.to_string target) new_text
+  | Transpose { source; dest } ->
+    Printf.sprintf "TRANSPOSE %s INTO %s" (Ast.to_string source)
+      (Ast.to_string dest)
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let upper = String.uppercase_ascii
+
+(* Find the first occurrence of [word] (as a whitespace-delimited word,
+   case-insensitive) that is outside quotes and brackets. *)
+let find_keyword s word =
+  let n = String.length s and w = String.length word in
+  let rec scan i depth quote =
+    if i >= n then None
+    else
+      match quote with
+      | Some q ->
+        if s.[i] = q then scan (i + 1) depth None else scan (i + 1) depth quote
+      | None -> (
+        match s.[i] with
+        | '"' | '\'' -> scan (i + 1) depth (Some s.[i])
+        | '[' -> scan (i + 1) (depth + 1) None
+        | ']' -> scan (i + 1) (depth - 1) None
+        | c
+          when depth = 0
+               && (c = ' ' || c = '\t')
+               && i + w < n
+               && upper (String.sub s (i + 1) w) = word
+               && (i + 1 + w = n || s.[i + 1 + w] = ' ' || s.[i + 1 + w] = '\t')
+          ->
+          Some i
+        | _ -> scan (i + 1) depth quote)
+  in
+  scan 0 0 None
+
+let split_keyword s word =
+  match find_keyword s word with
+  | None -> None
+  | Some i ->
+    let left = String.trim (String.sub s 0 i) in
+    let right =
+      String.trim
+        (String.sub s
+           (i + 1 + String.length word)
+           (String.length s - i - 1 - String.length word))
+    in
+    Some (left, right)
+
+let parse_path s =
+  match Xparser.parse (String.trim s) with
+  | p -> Ok p
+  | exception Xparser.Parse_error (msg, off) ->
+    Error (Printf.sprintf "bad path %S: %s at %d" s msg off)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let strip_quotes s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && ((s.[0] = '"' && s.[n - 1] = '"') || (s.[0] = '\'' && s.[n - 1] = '\''))
+  then String.sub s 1 (n - 2)
+  else s
+
+let first_word s =
+  match String.index_opt s ' ' with
+  | Some i -> (String.sub s 0 i, String.trim (String.sub s i (String.length s - i)))
+  | None -> (s, "")
+
+let parse input =
+  let input = String.trim input in
+  if input = "" then Error "empty operation"
+  else
+    let kw, rest = first_word input in
+    match upper kw with
+    | "QUERY" ->
+      let* p = parse_path rest in
+      Ok (Query p)
+    | "REMOVE" ->
+      let* p = parse_path rest in
+      Ok (Remove p)
+    | "INSERT" ->
+      let poskw, rest = first_word rest in
+      let* pos =
+        match upper poskw with
+        | "INTO" -> Ok Into
+        | "AFTER" -> Ok After
+        | "BEFORE" -> Ok Before
+        | other -> Error ("INSERT expects INTO/AFTER/BEFORE, got " ^ other)
+      in
+      (* The path ends where the XML fragment starts. *)
+      (match String.index_opt rest '<' with
+       | None -> Error "INSERT is missing an XML fragment"
+       | Some i ->
+         let path_text = String.trim (String.sub rest 0 i) in
+         let fragment = String.trim (String.sub rest i (String.length rest - i)) in
+         let* target = parse_path path_text in
+         Ok (Insert { target; pos; fragment }))
+    | "RENAME" -> (
+      match split_keyword rest "TO" with
+      | None -> Error "RENAME expects: RENAME <path> TO <name>"
+      | Some (path_text, name) ->
+        let* target = parse_path path_text in
+        let name = String.trim name in
+        if name = "" then Error "RENAME: empty new name"
+        else Ok (Rename { target; new_label = name }))
+    | "CHANGE" -> (
+      match split_keyword rest "TO" with
+      | None -> Error "CHANGE expects: CHANGE <path> TO <text>"
+      | Some (path_text, text) ->
+        let* target = parse_path path_text in
+        Ok (Change { target; new_text = strip_quotes text }))
+    | "TRANSPOSE" -> (
+      match split_keyword rest "INTO" with
+      | None -> Error "TRANSPOSE expects: TRANSPOSE <path> INTO <path>"
+      | Some (src_text, dst_text) ->
+        let* source = parse_path src_text in
+        let* dest = parse_path dst_text in
+        Ok (Transpose { source; dest }))
+    | other -> Error ("unknown operation keyword " ^ other)
+
+let parse_script text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1) rest
+      else (
+        match parse trimmed with
+        | Ok op -> go (op :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines

@@ -1,0 +1,50 @@
+(** The XDGL update language: the five operations of Pleshachkov et al.'s
+    protocol — [insert], [remove], [transpose], [rename], [change] — plus
+    queries, which together with the XPath subset form DTX's full operation
+    language (§2 of the paper). *)
+
+type position =
+  | Into  (** new node becomes the last child of the target *)
+  | After  (** new node becomes the target's next sibling *)
+  | Before  (** new node becomes the target's previous sibling *)
+
+type t =
+  | Query of Dtx_xpath.Ast.path
+  | Insert of {
+      target : Dtx_xpath.Ast.path;
+      pos : position;
+      fragment : string;  (** XML text of the subtree to insert *)
+    }
+  | Remove of Dtx_xpath.Ast.path
+  | Rename of { target : Dtx_xpath.Ast.path; new_label : string }
+  | Change of { target : Dtx_xpath.Ast.path; new_text : string }
+  | Transpose of { source : Dtx_xpath.Ast.path; dest : Dtx_xpath.Ast.path }
+      (** move the [source] subtree to become the last child of [dest] *)
+
+val is_update : t -> bool
+(** [false] only for [Query]. *)
+
+val paths : t -> Dtx_xpath.Ast.path list
+(** Every path mentioned by the operation (target, source, destination). *)
+
+val to_string : t -> string
+(** Textual rendering in the syntax accepted by {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Parse the textual update/query syntax (keywords are case-insensitive):
+    {v
+      QUERY /site/people/person[@id = "p4"]
+      INSERT INTO /site/regions/asia <item id="i9"><name>Mouse</name></item>
+      INSERT AFTER /site/people/person[1] <person id="p9"/>
+      REMOVE //item[@id = "i9"]
+      RENAME /site/categories/category[1]/name TO title
+      CHANGE //item[@id = "i9"]/name TO "Keyboard"
+      TRANSPOSE //item[@id = "i9"] INTO /site/regions/europe
+    v} *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse_script : string -> (t list, string) result
+(** Parse a whole transaction: one operation per line. Blank lines and lines
+    starting with [#] are skipped. Returns the first error with its line
+    number. *)

@@ -1,0 +1,64 @@
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+let render ?(width = 64) ?(height = 16) ?(xlabel = "") ?(ylabel = "") series =
+  let points = List.concat_map snd series in
+  if points = [] then "(no data)"
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = min 0.0 (fmin ys) and y1 = fmax ys in
+    let xspan = if x1 -. x0 <= 0.0 then 1.0 else x1 -. x0 in
+    let yspan = if y1 -. y0 <= 0.0 then 1.0 else y1 -. y0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot mark (x, y) =
+      let cx =
+        int_of_float (Float.round ((x -. x0) /. xspan *. float_of_int (width - 1)))
+      in
+      let cy =
+        int_of_float (Float.round ((y -. y0) /. yspan *. float_of_int (height - 1)))
+      in
+      let row = height - 1 - cy in
+      if row >= 0 && row < height && cx >= 0 && cx < width then
+        grid.(row).(cx) <- mark
+    in
+    List.iteri
+      (fun i (_, pts) ->
+        let mark = markers.(i mod Array.length markers) in
+        List.iter (plot mark) pts)
+      series;
+    let buf = Buffer.create ((width + 16) * (height + 4)) in
+    if ylabel <> "" then begin
+      Buffer.add_string buf ylabel;
+      Buffer.add_char buf '\n'
+    end;
+    let ytick row =
+      (* Label the top, middle and bottom rows. *)
+      if row = 0 then Printf.sprintf "%10.1f |" y1
+      else if row = height - 1 then Printf.sprintf "%10.1f |" y0
+      else if row = height / 2 then
+        Printf.sprintf "%10.1f |" (y0 +. (yspan /. 2.0))
+      else Printf.sprintf "%10s |" ""
+    in
+    Array.iteri
+      (fun row line ->
+        Buffer.add_string buf (ytick row);
+        Buffer.add_string buf (String.init width (fun i -> line.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-*.1f%*.1f" "" (width / 2) x0 (width - (width / 2)) x1);
+    if xlabel <> "" then Buffer.add_string buf (Printf.sprintf "  (%s)" xlabel);
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun i (label, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10s  %c = %s\n" "" markers.(i mod Array.length markers)
+             label))
+      series;
+    let s = Buffer.contents buf in
+    if String.length s > 0 && s.[String.length s - 1] = '\n' then
+      String.sub s 0 (String.length s - 1)
+    else s
+  end

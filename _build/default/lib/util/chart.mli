@@ -1,0 +1,16 @@
+(** Plain-text scatter/line charts, for rendering the experiment figures in
+    terminal output next to their numeric tables. Each series gets a marker
+    character; axes are linearly scaled with min/max tick labels. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  (string * (float * float) list) list ->
+  string
+(** [render series] draws the labelled series into a [width]×[height]
+    (default 64×16) character grid. Series are assigned the markers
+    [*, o, +, x, #, @] in order; overlapping points show the later series'
+    marker. Returns the multi-line string (no trailing newline). Empty
+    input or all-empty series yield a short placeholder string. *)

@@ -1,0 +1,25 @@
+(** Binary min-heaps, parameterised by an explicit comparison. Used by the
+    discrete-event simulator for its event queue. All operations are the
+    standard O(log n) / O(1). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** [peek h] is the smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list h] is every element in unspecified order (heap unchanged). *)

@@ -1,0 +1,49 @@
+(** Small online/offline statistics helpers used by the experiment harness
+    (mean response times, percentiles, time-bucketed counters). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** [summarize xs] computes the summary of [xs]. An empty list yields a
+    summary of zeros. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] is the [q]-quantile (0..1) of an already-sorted
+    array, by linear interpolation. *)
+
+val mean : float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Accumulates (time, value) samples into fixed-width time buckets; used for
+    the Fig. 12 throughput and concurrency-degree timelines. *)
+module Timeline : sig
+  type t
+
+  val create : bucket:float -> t
+  (** [create ~bucket] makes a timeline with buckets of width [bucket] (in the
+      same time unit as the samples). *)
+
+  val add : t -> time:float -> float -> unit
+  (** [add tl ~time v] adds [v] into the bucket containing [time]. *)
+
+  val incr : t -> time:float -> unit
+  (** [incr tl ~time] is [add tl ~time 1.0]. *)
+
+  val buckets : t -> (float * float) list
+  (** [buckets tl] is the non-empty buckets as [(bucket_start_time, total)],
+      sorted by time. *)
+
+  val cumulative : t -> (float * float) list
+  (** [cumulative tl] is like {!buckets} but with a running sum, and with
+      empty intermediate buckets filled in (a proper step curve). *)
+end

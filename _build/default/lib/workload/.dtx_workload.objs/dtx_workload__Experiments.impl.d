@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Buffer Dtx_frag Dtx_protocol Dtx_util Filename Format List Printf String Sys Workload

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Dtx Dtx_frag Dtx_net Dtx_protocol Dtx_sim Dtx_txn Dtx_update Dtx_util Dtx_xmark Dtx_xml Format List

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Dtx Dtx_frag Dtx_net Dtx_protocol Dtx_util Format

@@ -1,0 +1,67 @@
+(** Drivers that regenerate every evaluation figure of the paper (§3.2).
+
+    Each driver returns a {!figure}: labelled series of (x, y) points that
+    correspond one-to-one to the curves of the paper's chart. The [quick]
+    flag shrinks client counts and database sizes (for tests and smoke runs)
+    without changing the curves' qualitative shape.
+
+    | Paper figure | Driver | x-axis | y-axis |
+    |--------------|--------|--------|--------|
+    | Fig. 9  | {!fig9}  | number of clients   | response time (2 charts: total/partial replication) |
+    | Fig. 10 | {!fig10} | update txn %        | response time; number of deadlocks |
+    | Fig. 11a| {!fig11a}| base size (MB)      | response time; number of deadlocks |
+    | Fig. 11b| {!fig11b}| number of sites     | response time; number of deadlocks |
+    | Fig. 12 | {!fig12} | time                | cumulative commits; concurrency degree | *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+type figure = {
+  id : string;  (** e.g. ["fig9-partial"] *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+}
+
+val fig9 : ?quick:bool -> unit -> figure list
+(** Response time vs number of clients (10–50), read-only transactions,
+    XDGL vs Node2PL × total vs partial replication. Two figures (one per
+    replication mode). *)
+
+val fig10 : ?quick:bool -> unit -> figure list
+(** Response time and deadlock count vs update-transaction percentage
+    (20–60 %), 50 clients, partial replication. Two figures. *)
+
+val fig11a : ?quick:bool -> unit -> figure list
+(** Response time and deadlocks vs base size (50–200 MB). Two figures. *)
+
+val fig11b : ?quick:bool -> unit -> figure list
+(** Response time and deadlocks vs number of sites (2–8). Two figures. *)
+
+val fig12 : ?quick:bool -> unit -> figure list
+(** Cumulative committed transactions over time and concurrency degree over
+    time, for both protocols (250 transactions, 4 sites, partial
+    replication). Two figures. *)
+
+val all : ?quick:bool -> unit -> figure list
+(** Every figure, in paper order. *)
+
+val pp_figure : Format.formatter -> figure -> unit
+(** Render a figure as an aligned text table (series as columns) followed by
+    an ASCII chart. *)
+
+val to_csv : figure -> string
+(** The figure as CSV: header [x,<label>,...], one row per x value (missing
+    points empty). Ready for gnuplot/spreadsheet plotting. *)
+
+val write_csv : dir:string -> figure -> string
+(** Write {!to_csv} to [<dir>/<figure id>.csv] (creating [dir]); returns the
+    path. *)
+
+val summary_table :
+  ?quick:bool -> unit -> (string * string * string * string) list
+(** [(figure, check, expectation, observed)] rows asserting the paper's
+    qualitative claims against a quick run — the EXPERIMENTS.md evidence. *)

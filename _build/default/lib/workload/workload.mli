@@ -1,0 +1,90 @@
+(** DTXTester — the client simulator driving the evaluation (paper §3: "a
+    client simulator called DTXTester is developed … The simulator generates
+    the transactions according to certain parameters, sends them to DTX and
+    collects the results at the end of each execution").
+
+    One {!run} builds the whole experiment: generate the XMark base sized in
+    paper-MB, fragment it, allocate replicas per the replication mode, boot a
+    {!Dtx.Cluster} under the chosen protocol, attach the clients (each client
+    submits its transactions sequentially, resubmitting an aborted one up to
+    [retries] times), run the simulation to completion, and collect every
+    metric the paper reports. *)
+
+type params = {
+  seed : int;
+  protocol : Dtx_protocol.Protocol.kind;
+  n_sites : int;
+  n_clients : int;
+  txns_per_client : int;
+  ops_per_txn : int;
+  update_txn_pct : int;
+      (** percent of transactions that are update transactions *)
+  update_op_pct : int;
+      (** percent of operations that are updates, within an update
+          transaction *)
+  base_size_mb : float;  (** database size in paper-MB (≈250 nodes/MB) *)
+  replication : Dtx_frag.Allocation.replication;
+  n_fragments : int;  (** 0 = one fragment per site *)
+  deadlock_period_ms : float;
+  retries : int;  (** client resubmissions after an abort (paper: client's
+                      choice; experiments use 0) *)
+  cost : Dtx.Cost.t;
+  net_profile : Dtx_net.Net.profile;
+      (** LAN (the paper's testbed) or WAN (its future-work environment) *)
+  two_phase_commit : bool;
+      (** use the 2PC extension instead of the paper's one-phase commit *)
+  deadlock_policy : Dtx.Site.deadlock_policy;
+      (** detection (the paper) or wait-die / wound-wait prevention *)
+}
+
+val default_params : params
+(** Paper defaults: XDGL, 4 sites, 50 clients × 5 txns × 5 ops, 20 %/20 %
+    updates, 40 MB, partial replication, no retries. *)
+
+type result = {
+  params : params;
+  planned_txns : int;  (** clients × txns_per_client *)
+  committed : int;
+  aborted : int;  (** final aborts, after retries *)
+  failed : int;
+  not_executed : int;  (** planned transactions that never committed *)
+  deadlocks : int;  (** deadlock-caused aborts — the paper's metric *)
+  response : Dtx_util.Stats.summary;  (** committed-transaction response times (ms) *)
+  makespan_ms : float;  (** virtual time until the system drained *)
+  messages : int;
+  net_bytes : int;
+  lock_requests : int;
+  blocked_ops : int;
+  op_undos : int;
+  throughput : (float * float) list;
+      (** cumulative committed transactions over time (Fig. 12) *)
+  concurrency : (float * int) list;
+      (** active transactions over time (Fig. 12's concurrency degree) *)
+  structure_nodes : int;
+      (** total lock-structure size across sites (DataGuide vs document) *)
+}
+
+val run : params -> result
+(** Deterministic for a given [params]. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One-paragraph human-readable summary. *)
+
+(** Cross-seed aggregation: the paper reports single runs; [run_many]
+    quantifies how sensitive a configuration's metrics are to the workload
+    seed (EXPERIMENTS.md quotes these to justify calling single-seed
+    crossovers "noise"). *)
+type aggregate = {
+  runs : result list;
+  mean_response : Dtx_util.Stats.summary;  (** over per-run mean responses *)
+  mean_deadlocks : float;
+  sd_deadlocks : float;
+  mean_committed : float;
+  mean_makespan : float;
+}
+
+val run_many : ?seeds:int list -> params -> aggregate
+(** [run_many p] runs [p] once per seed (default [[7; 107; 207]],
+    overriding [p.seed]) and aggregates. *)
+
+val pp_aggregate : Format.formatter -> aggregate -> unit

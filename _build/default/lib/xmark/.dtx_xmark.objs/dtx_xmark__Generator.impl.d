@@ -1,0 +1,1 @@
+lib/xmark/generator.ml: Dtx_util Dtx_xml List Printf

@@ -1,0 +1,1 @@
+lib/xmark/generator.mli: Dtx_xml

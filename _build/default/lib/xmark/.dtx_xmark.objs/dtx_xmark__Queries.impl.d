@@ -1,0 +1,1 @@
+lib/xmark/queries.ml: Array Dtx_update Dtx_util Dtx_xml Dtx_xpath Generator List Printf

@@ -1,0 +1,1 @@
+lib/xmark/queries.mli: Dtx_update Dtx_util Dtx_xml

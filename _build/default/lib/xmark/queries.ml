@@ -1,0 +1,163 @@
+module Rng = Dtx_util.Rng
+module Doc = Dtx_xml.Doc
+module Op = Dtx_update.Op
+module Xparser = Dtx_xpath.Parser
+
+let adapted_queries =
+  [ ("Q1-person-by-id", "/site/people/person[@id = \"p0\"]/name");
+    ("Q2-first-bidder-increase", "/site/open_auctions/open_auction[1]/bidder[1]/increase");
+    ("Q3-all-item-names", "/site/regions/*/item/name");
+    ("Q4-closed-prices", "/site/closed_auctions/closed_auction/price");
+    ("Q5-category-names", "/site/categories/category/name");
+    ("Q6-region-items", "/site/regions/europe/item");
+    ("Q7-all-descr", "//item/description");
+    ("Q8-person-cities", "/site/people/person/address/city");
+    ("Q9-auction-current", "/site/open_auctions/open_auction/current");
+    ("Q10-sellers", "//open_auction/seller");
+    ("Q11-last-auction", "/site/open_auctions/open_auction[last()]/seller");
+    ("Q12-bid-parents", "//open_auction/bidder/..");
+    ("Q13-typed-sellers",
+     "/site/open_auctions/open_auction[type = \"Featured\" or type = \"Regular\"]/seller");
+    ("Q14-bulk-items", "/site/regions/*/item[name and quantity != \"1\"]/name") ]
+
+let pick_id rng ids fallback =
+  match ids with [] -> fallback | _ -> Rng.pick rng (Array.of_list ids)
+
+let q rng fmt_choices = Rng.pick rng fmt_choices
+
+let parse_exn s =
+  (* Templates are static or built from known-safe ids; a parse failure is a
+     programming error, not input. *)
+  try Xparser.parse s
+  with Xparser.Parse_error (msg, _) ->
+    invalid_arg (Printf.sprintf "Queries: bad template %S (%s)" s msg)
+
+let gen_query rng (doc : Doc.t) =
+  let persons = Generator.person_ids doc in
+  let items = Generator.item_ids doc in
+  let auctions = Generator.open_auction_ids doc in
+  let choice = Rng.int rng 12 in
+  let path_text =
+    match choice with
+    | 8 ->
+      (* sellers of the last listed auction *)
+      "/site/open_auctions/open_auction[last()]/seller"
+    | 9 ->
+      (* items that have a bid trail: navigate down then back up *)
+      Printf.sprintf "//open_auction[@id = \"%s\"]/bidder/.."
+        (pick_id rng auctions "oa0")
+    | 10 ->
+      (* disjunctive predicate over auction types *)
+      "/site/open_auctions/open_auction[type = \"Featured\" or type = \"Regular\"]/seller"
+    | 11 ->
+      (* conjunction with inequality: multi-quantity items *)
+      "/site/regions/*/item[name and quantity != \"1\"]/name"
+    | 0 ->
+      Printf.sprintf "/site/people/person[@id = \"%s\"]/name"
+        (pick_id rng persons "p0")
+    | 1 ->
+      Printf.sprintf "//item[@id = \"%s\"]" (pick_id rng items "i0")
+    | 2 -> "/site/regions/*/item/name"
+    | 3 ->
+      Printf.sprintf "/site/open_auctions/open_auction[@id = \"%s\"]/current"
+        (pick_id rng auctions "oa0")
+    | 4 -> "/site/closed_auctions/closed_auction/price"
+    | 5 ->
+      Printf.sprintf "/site/regions/%s/item"
+        (q rng (Array.of_list Generator.regions))
+    | 6 -> "/site/people/person/address/city"
+    | _ -> "/site/categories/category/name"
+  in
+  Op.Query (parse_exn path_text)
+
+(* Region elements actually present in this fragment (fragmentation
+   distributes whole regions, so a fragment may lack some). *)
+let present_regions (doc : Doc.t) =
+  Dtx_xml.Node.fold
+    (fun acc n ->
+      if
+        List.mem n.Dtx_xml.Node.label Generator.regions
+        && (match n.Dtx_xml.Node.parent with
+            | Some p -> p.Dtx_xml.Node.label = "regions"
+            | None -> false)
+      then n.Dtx_xml.Node.label :: acc
+      else acc)
+    [] doc.Doc.root
+  |> List.rev
+
+let gen_update rng ~fresh (doc : Doc.t) =
+  let persons = Generator.person_ids doc in
+  let items = Generator.item_ids doc in
+  let auctions = Generator.open_auction_ids doc in
+  let regions = present_regions doc in
+  (* Each generator is offered only when the fragment holds the data it
+     needs, so generated transactions fail only through real concurrency
+     (an entity a concurrent transaction removed), not by construction. *)
+  let insert_item () =
+    let id = fresh () in
+    Op.Insert
+      { target =
+          parse_exn (Printf.sprintf "/site/regions/%s" (Rng.pick_list rng regions));
+        pos = Op.Into;
+        fragment =
+          Printf.sprintf
+            "<item id=\"ni%d\"><name>new item %d</name><quantity>1</quantity></item>"
+            id id }
+  in
+  let insert_person () =
+    let id = fresh () in
+    Op.Insert
+      { target = parse_exn "/site/people";
+        pos = Op.Into;
+        fragment =
+          Printf.sprintf
+            "<person id=\"np%d\"><name>New Person %d</name><emailaddress>mailto:np%d@auctions.example</emailaddress></person>"
+            id id id }
+  in
+  let insert_bid () =
+    Op.Insert
+      { target =
+          parse_exn
+            (Printf.sprintf "/site/open_auctions/open_auction[@id = \"%s\"]"
+               (pick_id rng auctions "oa0"));
+        pos = Op.Into;
+        fragment =
+          Printf.sprintf
+            "<bidder><date>01/07/2009</date><personref>%s</personref><increase>%d.00</increase></bidder>"
+            (pick_id rng persons "p0") (1 + Rng.int rng 50) }
+  in
+  let change_price () =
+    Op.Change
+      { target =
+          parse_exn
+            (Printf.sprintf "/site/open_auctions/open_auction[@id = \"%s\"]/current"
+               (pick_id rng auctions "oa0"));
+        new_text = Printf.sprintf "%d.%02d" (1 + Rng.int rng 400) (Rng.int rng 100) }
+  in
+  let change_quantity () =
+    Op.Change
+      { target =
+          parse_exn
+            (Printf.sprintf "//item[@id = \"%s\"]/quantity" (pick_id rng items "i0"));
+        new_text = string_of_int (1 + Rng.int rng 9) }
+  in
+  let remove_item () =
+    Op.Remove
+      (parse_exn (Printf.sprintf "//item[@id = \"%s\"]" (pick_id rng items "i0")))
+  in
+  let move_item () =
+    Op.Transpose
+      { source =
+          parse_exn (Printf.sprintf "//item[@id = \"%s\"]" (pick_id rng items "i0"));
+        dest =
+          parse_exn (Printf.sprintf "/site/regions/%s" (Rng.pick_list rng regions)) }
+  in
+  (* Weights follow the paper's scenario bias towards insertions. *)
+  let feasible =
+    (if regions <> [] then [ insert_item; insert_item ] else [])
+    @ [ insert_person; insert_person ]
+    @ (if auctions <> [] then [ insert_bid; change_price; change_price ] else [])
+    @ (if items <> [] then [ change_quantity; remove_item ] else [])
+    @ if items <> [] && regions <> [] then [ move_item ] else []
+  in
+  (Rng.pick_list rng feasible) ()

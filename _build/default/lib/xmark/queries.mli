@@ -1,0 +1,22 @@
+(** The XMark workload adapted to DTX's languages (paper §3: "the XMark
+    benchmark is extended, adapting its queries to the XPath language and
+    adding update operations").
+
+    {!adapted_queries} are the static query templates (XMark queries that
+    survive restriction to the XPath subset, by XMark query number);
+    {!gen_query}/{!gen_update} instantiate templates against a concrete
+    (fragment) document, picking entity ids that actually exist there so
+    generated transactions exercise real data. *)
+
+val adapted_queries : (string * string) list
+(** [(template name, XPath text)] pairs; every path parses with
+    {!Dtx_xpath.Parser.parse}. *)
+
+val gen_query : Dtx_util.Rng.t -> Dtx_xml.Doc.t -> Dtx_update.Op.t
+(** A random query operation against [doc]. *)
+
+val gen_update :
+  Dtx_util.Rng.t -> fresh:(unit -> int) -> Dtx_xml.Doc.t -> Dtx_update.Op.t
+(** A random update operation (insert / remove / change / rename /
+    transpose, weighted towards inserts and changes like the paper's
+    scenario). [fresh] supplies unique numbers for new entity ids. *)

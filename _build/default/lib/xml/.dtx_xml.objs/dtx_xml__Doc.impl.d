@@ -1,0 +1,1 @@
+lib/xml/doc.ml: Dtx_util Hashtbl Node Printf

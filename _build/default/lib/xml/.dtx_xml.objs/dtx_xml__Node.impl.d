@@ -1,0 +1,1 @@
+lib/xml/node.ml: Buffer Dtx_util Format List Printf String

@@ -1,0 +1,78 @@
+type t = {
+  name : string;
+  root : Node.t;
+  mutable next_id : int;
+  index : (int, Node.t) Hashtbl.t;
+}
+
+let register_subtree t node =
+  Node.iter
+    (fun n ->
+      Hashtbl.replace t.index n.Node.id n;
+      if n.Node.id >= t.next_id then t.next_id <- n.Node.id + 1)
+    node
+
+let unregister_subtree t node =
+  Node.iter (fun n -> Hashtbl.remove t.index n.Node.id) node
+
+let create ~name ~root_label =
+  let root = Node.make ~id:0 ~label:root_label () in
+  let t = { name; root; next_id = 1; index = Hashtbl.create 256 } in
+  Hashtbl.replace t.index 0 root;
+  t
+
+let of_root ~name root =
+  let t = { name; root; next_id = 0; index = Hashtbl.create 256 } in
+  register_subtree t root;
+  t
+
+let alloc_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let fresh_node t ~label ?text () =
+  let n = Node.make ~id:(alloc_id t) ~label ?text () in
+  Hashtbl.replace t.index n.Node.id n;
+  n
+
+let find t id = Hashtbl.find_opt t.index id
+
+let size t = Node.subtree_size t.root
+
+let clone ?name t =
+  let name = match name with Some n -> n | None -> t.name in
+  (* Preserve ids so replicas agree on node identity across sites. *)
+  let rec copy (n : Node.t) : Node.t =
+    let c = Node.make ~id:n.Node.id ~label:n.Node.label ?text:n.Node.text () in
+    Dtx_util.Vec.iter (fun child -> Node.add_child c (copy child)) n.Node.children;
+    c
+  in
+  of_root ~name (copy t.root)
+
+let equal_structure a b = Node.equal_structure a.root b.root
+
+let validate t =
+  let seen = Hashtbl.create 256 in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  Node.iter
+    (fun n ->
+      if Hashtbl.mem seen n.Node.id then fail "duplicate id %d" n.Node.id;
+      Hashtbl.replace seen n.Node.id ();
+      (match Hashtbl.find_opt t.index n.Node.id with
+       | Some m when m == n -> ()
+       | Some _ -> fail "index entry for %d is a different node" n.Node.id
+       | None -> fail "node %d missing from index" n.Node.id);
+      Dtx_util.Vec.iter
+        (fun c ->
+          match c.Node.parent with
+          | Some p when p == n -> ()
+          | _ -> fail "child %d has wrong parent pointer" c.Node.id)
+        n.Node.children)
+    t.root;
+  (* The index must not contain stale entries either. *)
+  Hashtbl.iter
+    (fun id _ -> if not (Hashtbl.mem seen id) then fail "stale index entry %d" id)
+    t.index;
+  match !error with None -> Ok () | Some e -> Error e

@@ -1,0 +1,48 @@
+(** XML documents: a named root tree plus a node-id index and an id
+    allocator. All nodes of a document carry document-unique ids; the index
+    lets the lock manager and the undo machinery address nodes by id. *)
+
+type t = {
+  name : string;
+  root : Node.t;
+  mutable next_id : int;
+  index : (int, Node.t) Hashtbl.t;
+}
+
+val create : name:string -> root_label:string -> t
+(** A document with a fresh root element. *)
+
+val of_root : name:string -> Node.t -> t
+(** [of_root ~name root] wraps an existing tree (re-registering all of its
+    nodes; ids must already be unique within the tree). *)
+
+val alloc_id : t -> int
+(** Next fresh node id. *)
+
+val fresh_node : t -> label:string -> ?text:string -> unit -> Node.t
+(** A detached node with a fresh id, registered in the index. *)
+
+val register_subtree : t -> Node.t -> unit
+(** Add every node of a subtree to the index (used after grafting a cloned
+    fragment into the document). *)
+
+val unregister_subtree : t -> Node.t -> unit
+(** Remove every node of a subtree from the index. *)
+
+val find : t -> int -> Node.t option
+(** Node by id. *)
+
+val size : t -> int
+(** Number of nodes currently in the tree. *)
+
+val clone : ?name:string -> t -> t
+(** Deep copy (fresh document, same ids). Used to give each replica site its
+    own physical copy. *)
+
+val equal_structure : t -> t -> bool
+(** Structural equality of the two roots (ids ignored). *)
+
+val validate : t -> (unit, string) result
+(** Internal consistency check: every tree node is indexed with its own id,
+    parent pointers match, no id duplicated. Used by tests and after
+    failure-injection. *)

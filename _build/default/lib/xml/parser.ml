@@ -1,0 +1,254 @@
+exception Parse_error of string * int
+
+type state = {
+  src : string;
+  mutable pos : int;
+  doc : Doc.t;
+}
+
+let fail st fmt = Printf.ksprintf (fun s -> raise (Parse_error (s, st.pos))) fmt
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  if peek st <> c then fail st "expected %C, found %C" c (peek st);
+  advance st
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space st = while (not (eof st)) && is_space (peek st) do advance st done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do advance st done;
+  String.sub st.src start (st.pos - start)
+
+let read_entity st =
+  (* Called just after '&'. *)
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do advance st done;
+  if eof st then fail st "unterminated entity";
+  let name = String.sub st.src start (st.pos - start) in
+  advance st;
+  match name with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    if String.length name > 1 && name.[0] = '#' then
+      let code =
+        try
+          if name.[1] = 'x' || name.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string (String.sub name 1 (String.length name - 1))
+        with Failure _ -> fail st "bad character reference &%s;" name
+      in
+      if code < 0x80 then String.make 1 (Char.chr code) else "?"
+    else fail st "unknown entity &%s;" name
+
+let read_quoted st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      let c = peek st in
+      if c = quote then advance st
+      else if c = '&' then begin
+        advance st;
+        Buffer.add_string buf (read_entity st);
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+      end
+  in
+  loop ();
+  Buffer.contents buf
+
+let skip_until st pat =
+  (* Advance past the next occurrence of [pat]. *)
+  let n = String.length pat in
+  let limit = String.length st.src - n in
+  let rec loop () =
+    if st.pos > limit then fail st "unterminated construct (looking for %s)" pat
+    else if String.sub st.src st.pos n = pat then st.pos <- st.pos + n
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_misc st =
+  (* Skip whitespace, comments, PIs and DOCTYPE between top-level items. *)
+  let rec loop () =
+    skip_space st;
+    if peek st = '<' then
+      match peek2 st with
+      | '?' ->
+        skip_until st "?>";
+        loop ()
+      | '!' ->
+        if
+          st.pos + 3 < String.length st.src
+          && String.sub st.src st.pos 4 = "<!--"
+        then begin
+          skip_until st "-->";
+          loop ()
+        end
+        else if
+          st.pos + 8 < String.length st.src
+          && String.sub st.src st.pos 9 = "<!DOCTYPE"
+        then begin
+          skip_until st ">";
+          loop ()
+        end
+      | _ -> ()
+  in
+  loop ()
+
+let read_cdata st =
+  (* Called at "<![CDATA[". *)
+  st.pos <- st.pos + 9;
+  let start = st.pos in
+  let limit = String.length st.src - 3 in
+  let rec loop () =
+    if st.pos > limit then fail st "unterminated CDATA"
+    else if String.sub st.src st.pos 3 = "]]>" then begin
+      let s = String.sub st.src start (st.pos - start) in
+      st.pos <- st.pos + 3;
+      s
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let append_text node s =
+  if String.length s > 0 then
+    node.Node.text <-
+      (match node.Node.text with None -> Some s | Some t -> Some (t ^ s))
+
+let trim_ws s =
+  let s' = String.trim s in
+  if s' = "" then "" else s
+
+let rec parse_element st : Node.t =
+  expect st '<';
+  let label = read_name st in
+  let node = Doc.fresh_node st.doc ~label () in
+  (* Attributes. *)
+  let rec attrs () =
+    skip_space st;
+    if is_name_start (peek st) then begin
+      let aname = read_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = read_quoted st in
+      let attr = Doc.fresh_node st.doc ~label:("@" ^ aname) ~text:value () in
+      Node.add_child node attr;
+      attrs ()
+    end
+  in
+  attrs ();
+  skip_space st;
+  if peek st = '/' then begin
+    advance st;
+    expect st '>';
+    node
+  end
+  else begin
+    expect st '>';
+    parse_content st node;
+    (* Closing tag. *)
+    expect st '<';
+    expect st '/';
+    let close = read_name st in
+    if close <> label then fail st "mismatched closing tag </%s> for <%s>" close label;
+    skip_space st;
+    expect st '>';
+    node
+  end
+
+and parse_content st node =
+  let buf = Buffer.create 16 in
+  let flush_text () =
+    let s = trim_ws (Buffer.contents buf) in
+    Buffer.clear buf;
+    append_text node s
+  in
+  let rec loop () =
+    if eof st then fail st "unterminated element <%s>" node.Node.label
+    else
+      match peek st with
+      | '<' ->
+        (match peek2 st with
+         | '/' -> flush_text ()
+         | '!' ->
+           if
+             st.pos + 8 < String.length st.src
+             && String.sub st.src st.pos 9 = "<![CDATA["
+           then begin
+             Buffer.add_string buf (read_cdata st);
+             loop ()
+           end
+           else begin
+             skip_until st "-->";
+             loop ()
+           end
+         | '?' ->
+           skip_until st "?>";
+           loop ()
+         | _ ->
+           flush_text ();
+           let child = parse_element st in
+           Node.add_child node child;
+           loop ())
+      | '&' ->
+        advance st;
+        Buffer.add_string buf (read_entity st);
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ()
+
+let parse ~name s =
+  let doc_holder = Doc.create ~name ~root_label:"#tmp" in
+  let st = { src = s; pos = 0; doc = doc_holder } in
+  skip_misc st;
+  if eof st then fail st "empty document";
+  if peek st <> '<' then fail st "expected root element";
+  let root = parse_element st in
+  skip_misc st;
+  skip_space st;
+  if not (eof st) then fail st "trailing content after root element";
+  Doc.of_root ~name root
+
+let parse_fragment s = parse ~name:"fragment" s

@@ -1,0 +1,16 @@
+(** A small from-scratch XML parser covering the subset DTX stores: elements,
+    attributes, character data and the five predefined entities. Comments,
+    processing instructions and a DOCTYPE line are skipped. CDATA sections are
+    supported. Namespaces are treated as plain label prefixes. *)
+
+exception Parse_error of string * int
+(** [Parse_error (message, offset)]. *)
+
+val parse : name:string -> string -> Doc.t
+(** [parse ~name s] parses [s] into a fresh document called [name].
+    Attributes become ["@attr"]-labelled children (see {!Node}).
+    @raise Parse_error on malformed input. *)
+
+val parse_fragment : string -> Doc.t
+(** [parse_fragment s] is [parse ~name:"fragment" s]; handy for building
+    update-operation payloads. *)

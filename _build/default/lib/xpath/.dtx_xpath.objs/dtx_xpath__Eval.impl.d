@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Dtx_util Dtx_xml Hashtbl List

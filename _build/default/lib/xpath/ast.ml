@@ -1,0 +1,137 @@
+type axis = Child | Descendant | Parent | Self
+
+type test = Name of string | Wildcard | Any
+
+type path = {
+  absolute : bool;
+  steps : step list;
+}
+
+and step = {
+  axis : axis;
+  test : test;
+  preds : pred list;
+}
+
+and pred =
+  | Pos of int
+  | Last
+  | Exists of path
+  | Eq of path * string
+  | Neq of path * string
+  | And of pred * pred
+  | Or of pred * pred
+
+let step ?(axis = Child) ?(preds = []) name =
+  let test = if name = "*" then Wildcard else Name name in
+  { axis; test; preds }
+
+let path ?(absolute = true) steps = { absolute; steps }
+
+let relative p = { p with absolute = false }
+
+let rec without_predicates p =
+  { p with steps = List.map strip_step p.steps }
+
+and strip_step s = { s with preds = List.map strip_pred s.preds }
+
+and strip_pred = function
+  | Pos n -> Pos n
+  | Last -> Last
+  | Exists rel -> Exists (without_predicates rel)
+  | Eq (rel, v) -> Eq (without_predicates rel, v)
+  | Neq (rel, v) -> Neq (without_predicates rel, v)
+  | And (a, b) -> And (strip_pred a, strip_pred b)
+  | Or (a, b) -> Or (strip_pred a, strip_pred b)
+
+let predicate_paths p =
+  let acc = ref [] in
+  let rec walk prefix_rev = function
+    | [] -> ()
+    | s :: rest ->
+      let prefix_rev = { s with preds = [] } :: prefix_rev in
+      let prefix = { absolute = p.absolute; steps = List.rev prefix_rev } in
+      let rec visit_pred pred =
+        match pred with
+        | Pos _ | Last -> ()
+        | And (a, b) | Or (a, b) ->
+          visit_pred a;
+          visit_pred b
+        | Exists rel | Eq (rel, _) | Neq (rel, _) ->
+          acc := (prefix, without_predicates rel) :: !acc;
+          (* Nested predicates inside the relative path also lock. *)
+          List.iter
+            (fun (pfx, r) ->
+              (* Re-anchor the nested prefix below the outer prefix. *)
+              let anchored =
+                { absolute = p.absolute;
+                  steps = prefix.steps @ pfx.steps }
+              in
+              acc := (anchored, r) :: !acc)
+            (nested rel)
+      in
+      List.iter visit_pred s.preds;
+      walk prefix_rev rest
+  and nested rel =
+    let saved = !acc in
+    acc := [];
+    walk [] rel.steps;
+    let out = !acc in
+    acc := saved;
+    out
+  in
+  walk [] p.steps;
+  List.rev !acc
+
+let rec pp_pred buf pred =
+  match pred with
+  | Pos n -> Buffer.add_string buf (string_of_int n)
+  | Last -> Buffer.add_string buf "last()"
+  | Exists rel -> Buffer.add_string buf (to_string rel)
+  | Eq (rel, v) ->
+    Buffer.add_string buf (to_string rel);
+    Buffer.add_string buf " = \"";
+    Buffer.add_string buf v;
+    Buffer.add_char buf '"'
+  | Neq (rel, v) ->
+    Buffer.add_string buf (to_string rel);
+    Buffer.add_string buf " != \"";
+    Buffer.add_string buf v;
+    Buffer.add_char buf '"'
+  | And (a, b) ->
+    pp_pred buf a;
+    Buffer.add_string buf " and ";
+    pp_pred buf b
+  | Or (a, b) ->
+    pp_pred buf a;
+    Buffer.add_string buf " or ";
+    pp_pred buf b
+
+and to_string p =
+  let buf = Buffer.create 32 in
+  List.iteri
+    (fun i s ->
+      let sep =
+        match s.axis with
+        | Child | Parent | Self -> if i = 0 && not p.absolute then "" else "/"
+        | Descendant -> "//"
+      in
+      Buffer.add_string buf sep;
+      (match (s.axis, s.test) with
+       | (Parent, _) -> Buffer.add_string buf ".."
+       | (Self, _) -> Buffer.add_char buf '.'
+       | (_, Name n) -> Buffer.add_string buf n
+       | (_, Wildcard) -> Buffer.add_char buf '*'
+       | (_, Any) -> Buffer.add_string buf "node()");
+      List.iter
+        (fun pred ->
+          Buffer.add_char buf '[';
+          pp_pred buf pred;
+          Buffer.add_char buf ']')
+        s.preds)
+    p.steps;
+  if p.steps = [] && p.absolute then "/" else Buffer.contents buf
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+let equal a b = a = b

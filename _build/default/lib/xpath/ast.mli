@@ -1,0 +1,68 @@
+(** Abstract syntax for the XPath subset used by XDGL/DTX.
+
+    The subset (after Pleshachkov et al.'s XDGL) covers:
+    - the [child] ([/]) and [descendant-or-self] ([//]) axes,
+    - name tests, the wildcard [*] and attribute tests ([@name]),
+    - predicates: positional ([\[3\]]), existence ([\[rel/path\]]) and
+      equality of a relative path's text against a literal
+      ([\[price = "9.90"\]]).
+
+    Attributes are ordinary steps whose name starts with ["@"], mirroring the
+    {!Dtx_xml.Node} representation. *)
+
+type axis =
+  | Child  (** [/step] *)
+  | Descendant  (** [//step] — descendant-or-self, then the name test *)
+  | Parent  (** [..] *)
+  | Self  (** [.] *)
+
+type test =
+  | Name of string  (** element or ["@attr"] name test *)
+  | Wildcard  (** [*] — element children only (attributes excluded) *)
+  | Any  (** no test — used by the [.] and [..] steps *)
+
+type path = {
+  absolute : bool;  (** leading [/]: evaluate from the document root *)
+  steps : step list;
+}
+
+and step = {
+  axis : axis;
+  test : test;
+  preds : pred list;
+}
+
+and pred =
+  | Pos of int  (** 1-based position among the step's matches per parent *)
+  | Last  (** [\[last()\]] — the final match per parent *)
+  | Exists of path  (** relative path is non-empty *)
+  | Eq of path * string  (** relative path has a node with this text *)
+  | Neq of path * string
+      (** relative path has a node whose text differs from the literal *)
+  | And of pred * pred  (** both hold (positional predicates excluded) *)
+  | Or of pred * pred  (** either holds *)
+
+val step : ?axis:axis -> ?preds:pred list -> string -> step
+(** [step name] is a child-axis name-test step; [step "*"] is a wildcard. *)
+
+val path : ?absolute:bool -> step list -> path
+
+val relative : path -> path
+(** The same path with [absolute = false]. *)
+
+val without_predicates : path -> path
+(** Structural skeleton of the path — what the DataGuide lock targeting
+    matches on. *)
+
+val predicate_paths : path -> (path * path) list
+(** [predicate_paths p] enumerates every [Exists]/[Eq] predicate as
+    [(prefix, rel)] where [prefix] is the (predicate-free) path down to and
+    including the step carrying the predicate, and [rel] the relative
+    predicate path. XDGL places ST/IS locks on these. *)
+
+val to_string : path -> string
+(** Parseable rendering ({!Parser.parse} is its inverse). *)
+
+val pp : Format.formatter -> path -> unit
+
+val equal : path -> path -> bool

@@ -1,0 +1,158 @@
+module Node = Dtx_xml.Node
+module Doc = Dtx_xml.Doc
+module Vec = Dtx_util.Vec
+
+(* The evaluator threads a visit counter so the simulator can charge query
+   cost proportional to the work actually done. *)
+
+let test_matches (test : Ast.test) (n : Node.t) =
+  match test with
+  | Ast.Name name -> n.Node.label = name
+  | Ast.Wildcard -> not (Node.is_attribute n)
+  | Ast.Any -> true
+
+let rec strict_descendants acc (n : Node.t) =
+  Vec.fold_left
+    (fun acc c -> strict_descendants (c :: acc) c)
+    acc n.Node.children
+
+(* [trace], when set, receives every candidate node the evaluator examines
+   (used by navigation-locking protocols); [counter] only counts them. *)
+let candidates ~counter ~trace ~leading_absolute (axis : Ast.axis) (ctx : Node.t) =
+  let nodes =
+    match axis with
+    | Ast.Child -> Node.children ctx
+    | Ast.Descendant ->
+      if leading_absolute then Node.descendant_or_self ctx
+      else List.rev (strict_descendants [] ctx)
+    | Ast.Parent -> (match ctx.Node.parent with Some p -> [ p ] | None -> [])
+    | Ast.Self -> [ ctx ]
+  in
+  counter := !counter + List.length nodes;
+  (match trace with
+   | Some sink -> List.iter sink nodes
+   | None -> ());
+  nodes
+
+let rec apply_preds ~counter ~trace (preds : Ast.pred list) (nodes : Node.t list) =
+  match preds with
+  | [] -> nodes
+  | Ast.Pos k :: rest ->
+    let picked = match List.nth_opt nodes (k - 1) with Some n -> [ n ] | None -> [] in
+    apply_preds ~counter ~trace rest picked
+  | Ast.Last :: rest ->
+    let picked = match List.rev nodes with n :: _ -> [ n ] | [] -> [] in
+    apply_preds ~counter ~trace rest picked
+  | (Ast.Exists _ | Ast.Eq _ | Ast.Neq _ | Ast.And _ | Ast.Or _) as pred :: rest ->
+    apply_preds ~counter ~trace rest
+      (List.filter (fun n -> pred_holds ~counter ~trace n pred) nodes)
+
+(* Node-level (non-positional) predicate truth. Positional predicates are
+   rejected inside boolean connectives by the parser, so hitting one here is
+   a programming error. *)
+and pred_holds ~counter ~trace (n : Node.t) (pred : Ast.pred) =
+  match pred with
+  | Ast.Exists rel -> eval_rel ~counter ~trace n rel <> []
+  | Ast.Eq (rel, lit) ->
+    List.exists
+      (fun m -> Node.text_content m = lit)
+      (eval_rel ~counter ~trace n rel)
+  | Ast.Neq (rel, lit) ->
+    List.exists
+      (fun m -> Node.text_content m <> lit)
+      (eval_rel ~counter ~trace n rel)
+  | Ast.And (a, b) ->
+    pred_holds ~counter ~trace n a && pred_holds ~counter ~trace n b
+  | Ast.Or (a, b) ->
+    pred_holds ~counter ~trace n a || pred_holds ~counter ~trace n b
+  | Ast.Pos _ | Ast.Last -> invalid_arg "Eval: positional predicate in connective"
+
+and eval_steps ~counter ~trace ~leading_absolute (ctxs : Node.t list)
+    (steps : Ast.step list) : Node.t list =
+  match steps with
+  | [] -> ctxs
+  | step :: rest ->
+    let seen = Hashtbl.create 16 in
+    let out = ref [] in
+    List.iter
+      (fun ctx ->
+        let cands =
+          candidates ~counter ~trace ~leading_absolute step.Ast.axis ctx
+        in
+        let matched = List.filter (test_matches step.Ast.test) cands in
+        let kept = apply_preds ~counter ~trace step.Ast.preds matched in
+        List.iter
+          (fun n ->
+            if not (Hashtbl.mem seen n.Node.id) then begin
+              Hashtbl.add seen n.Node.id ();
+              out := n :: !out
+            end)
+          kept)
+      ctxs;
+    eval_steps ~counter ~trace ~leading_absolute:false (List.rev !out) rest
+
+and eval_rel ~counter ~trace (ctx : Node.t) (p : Ast.path) =
+  eval_steps ~counter ~trace ~leading_absolute:false [ ctx ] p.Ast.steps
+
+let root_of (n : Node.t) =
+  let rec up n = match n.Node.parent with None -> n | Some p -> up p in
+  up n
+
+let eval ~counter ~trace (root : Node.t) (p : Ast.path) =
+  match p.Ast.steps with
+  | [] -> if p.Ast.absolute then [ root ] else []
+  | first :: _ ->
+    if p.Ast.absolute then
+      match first.Ast.axis with
+      | Ast.Parent ->
+        (* The document node has no parent; nothing matches. *)
+        []
+      | Ast.Self ->
+        eval_steps ~counter ~trace ~leading_absolute:false [ root ]
+          (List.tl p.Ast.steps)
+      | Ast.Child ->
+        (* The (virtual) document node's only child is the root element. *)
+        counter := !counter + 1;
+        (match trace with Some sink -> sink root | None -> ());
+        let matched =
+          if test_matches first.Ast.test root then
+            apply_preds ~counter ~trace first.Ast.preds [ root ]
+          else []
+        in
+        eval_steps ~counter ~trace ~leading_absolute:false matched
+          (List.tl p.Ast.steps)
+      | Ast.Descendant ->
+        eval_steps ~counter ~trace ~leading_absolute:true [ root ] p.Ast.steps
+    else eval_steps ~counter ~trace ~leading_absolute:false [ root ] p.Ast.steps
+
+let select (doc : Doc.t) p =
+  let counter = ref 0 in
+  eval ~counter ~trace:None doc.Doc.root p
+
+let select_from (ctx : Node.t) p =
+  let counter = ref 0 in
+  if p.Ast.absolute then eval ~counter ~trace:None (root_of ctx) p
+  else eval_steps ~counter ~trace:None ~leading_absolute:false [ ctx ] p.Ast.steps
+
+let nodes_visited (doc : Doc.t) p =
+  let counter = ref 0 in
+  ignore (eval ~counter ~trace:None doc.Doc.root p);
+  !counter
+
+let select_traced (doc : Doc.t) p =
+  let counter = ref 0 in
+  let seen = Hashtbl.create 256 in
+  let acc = ref [] in
+  let sink (n : Node.t) =
+    if not (Hashtbl.mem seen n.Node.id) then begin
+      Hashtbl.add seen n.Node.id ();
+      acc := n :: !acc
+    end
+  in
+  let results = eval ~counter ~trace:(Some sink) doc.Doc.root p in
+  (results, List.rev !acc)
+
+let matches (n : Node.t) p =
+  let counter = ref 0 in
+  let results = eval ~counter ~trace:None (root_of n) p in
+  List.exists (fun m -> m.Node.id = n.Node.id) results

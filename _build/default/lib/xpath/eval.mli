@@ -1,0 +1,25 @@
+(** XPath evaluation over {!Dtx_xml} trees. Results are in document order
+    and duplicate-free. *)
+
+val select : Dtx_xml.Doc.t -> Ast.path -> Dtx_xml.Node.t list
+(** [select doc p] evaluates [p] from the document root (relative paths are
+    treated as starting at the root element's children, i.e. like
+    [/root/p]). *)
+
+val select_from : Dtx_xml.Node.t -> Ast.path -> Dtx_xml.Node.t list
+(** [select_from ctx p] evaluates a relative path from [ctx]; an absolute
+    path restarts from [ctx]'s root. *)
+
+val nodes_visited : Dtx_xml.Doc.t -> Ast.path -> int
+(** Number of tree nodes the evaluator touches — the simulator's cost proxy
+    for query execution work. *)
+
+val select_traced :
+  Dtx_xml.Doc.t -> Ast.path -> Dtx_xml.Node.t list * Dtx_xml.Node.t list
+(** [select_traced doc p] is [(results, visited)]: the result set plus every
+    node the evaluator examined while navigating (each node once). Navigation
+    locking protocols (Node2PL) lock the [visited] set. *)
+
+val matches : Dtx_xml.Node.t -> Ast.path -> bool
+(** [matches n p] is [true] iff [n] is in the result of evaluating [p] over
+    [n]'s document. Used by tests as an oracle. *)

@@ -1,0 +1,176 @@
+exception Parse_error of string * int
+
+type state = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail st fmt = Printf.ksprintf (fun s -> raise (Parse_error (s, st.pos))) fmt
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_space st =
+  while (not (eof st)) && (peek st = ' ' || peek st = '\t') do advance st done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let at = peek st = '@' in
+  if at then advance st;
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do advance st done;
+  let n = String.sub st.src start (st.pos - start) in
+  if at then "@" ^ n else n
+
+let read_int st =
+  let start = st.pos in
+  while (not (eof st)) && peek st >= '0' && peek st <= '9' do advance st done;
+  if st.pos = start then fail st "expected an integer";
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let read_literal st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a string literal";
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> quote do advance st done;
+  if eof st then fail st "unterminated string literal";
+  let s = String.sub st.src start (st.pos - start) in
+  advance st;
+  s
+
+let rec parse_path st ~absolute_ok : Ast.path =
+  skip_space st;
+  let absolute = absolute_ok && peek st = '/' in
+  let steps = parse_steps st ~first:true ~absolute in
+  if steps = [] && not absolute then fail st "empty path";
+  { Ast.absolute; steps }
+
+and parse_steps st ~first ~absolute : Ast.step list =
+  skip_space st;
+  let axis =
+    if peek st = '/' then begin
+      advance st;
+      if peek st = '/' then begin
+        advance st;
+        Some Ast.Descendant
+      end
+      else Some Ast.Child
+    end
+    else if first && not absolute then
+      (* Relative path: first step has no leading separator. *)
+      if is_name_start (peek st) || peek st = '@' || peek st = '*'
+         || peek st = '.' then
+        Some Ast.Child
+      else None
+    else None
+  in
+  match axis with
+  | None -> []
+  | Some axis ->
+    if first && absolute && eof st then []
+    else begin
+      let axis, test =
+        if peek st = '*' then begin
+          advance st;
+          (axis, Ast.Wildcard)
+        end
+        else if peek st = '.' then begin
+          advance st;
+          if peek st = '.' then begin
+            advance st;
+            (Ast.Parent, Ast.Any)
+          end
+          else (Ast.Self, Ast.Any)
+        end
+        else (axis, Ast.Name (read_name st))
+      in
+      let preds = parse_preds st in
+      let step = { Ast.axis; test; preds } in
+      step :: parse_steps st ~first:false ~absolute
+    end
+
+and parse_preds st : Ast.pred list =
+  skip_space st;
+  if peek st = '[' then begin
+    advance st;
+    skip_space st;
+    let pred =
+      if peek st >= '0' && peek st <= '9' then Ast.Pos (read_int st)
+      else if
+        st.pos + 5 < String.length st.src
+        && String.sub st.src st.pos 6 = "last()"
+      then begin
+        st.pos <- st.pos + 6;
+        Ast.Last
+      end
+      else parse_or_pred st
+    in
+    skip_space st;
+    if peek st <> ']' then fail st "expected ']'";
+    advance st;
+    pred :: parse_preds st
+  end
+  else []
+
+(* Boolean predicate grammar: or_pred := and_pred ('or' and_pred)*;
+   and_pred := atom ('and' atom)*; atom := path (('='|'!=') literal)?.
+   Positional predicates do not combine with connectives. *)
+and parse_or_pred st : Ast.pred =
+  let left = parse_and_pred st in
+  skip_space st;
+  if keyword_ahead st "or" then begin
+    st.pos <- st.pos + 2;
+    Ast.Or (left, parse_or_pred st)
+  end
+  else left
+
+and parse_and_pred st : Ast.pred =
+  let left = parse_atom_pred st in
+  skip_space st;
+  if keyword_ahead st "and" then begin
+    st.pos <- st.pos + 3;
+    Ast.And (left, parse_and_pred st)
+  end
+  else left
+
+and keyword_ahead st kw =
+  let n = String.length kw in
+  st.pos + n < String.length st.src
+  && String.sub st.src st.pos n = kw
+  && (let c = st.src.[st.pos + n] in
+      c = ' ' || c = '\t')
+
+and parse_atom_pred st : Ast.pred =
+  skip_space st;
+  let rel = parse_path st ~absolute_ok:false in
+  skip_space st;
+  if peek st = '=' then begin
+    advance st;
+    skip_space st;
+    Ast.Eq (rel, read_literal st)
+  end
+  else if peek st = '!' then begin
+    advance st;
+    if peek st <> '=' then fail st "expected '=' after '!'";
+    advance st;
+    skip_space st;
+    Ast.Neq (rel, read_literal st)
+  end
+  else Ast.Exists rel
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let p = parse_path st ~absolute_ok:true in
+  skip_space st;
+  if not (eof st) then fail st "trailing characters after path";
+  p

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the XPath subset of {!Ast}. *)
+
+exception Parse_error of string * int
+(** [Parse_error (message, offset)]. *)
+
+val parse : string -> Ast.path
+(** [parse s] parses an absolute or relative path expression, e.g.
+    [/site/people/person\[@id = "p12"\]/name] or [//item\[location\]].
+    @raise Parse_error on malformed input. *)

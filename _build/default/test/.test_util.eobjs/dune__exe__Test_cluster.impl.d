@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Dtx Dtx_frag Dtx_locks Dtx_net Dtx_protocol Dtx_sim Dtx_storage Dtx_txn Dtx_update Dtx_xml Dtx_xpath Filename Hashtbl List Printf Sys Unix

@@ -1,0 +1,1 @@
+test/test_dataguide.ml: Alcotest Dtx_dataguide Dtx_xmark Dtx_xml Dtx_xpath List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_frag.ml: Alcotest Dtx_frag Dtx_xmark Dtx_xml List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dtx Dtx_frag Dtx_locks Dtx_net Dtx_protocol Dtx_sim Dtx_txn Dtx_update Dtx_util Dtx_xmark Dtx_xml Dtx_xpath Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Dtx_locks Gen Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Dtx_net Dtx_sim List

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Dtx Dtx_dataguide Dtx_frag Dtx_locks Dtx_net Dtx_protocol Dtx_sim Dtx_txn Dtx_update Dtx_util Dtx_xmark Dtx_xml Dtx_xpath List Printf QCheck QCheck_alcotest

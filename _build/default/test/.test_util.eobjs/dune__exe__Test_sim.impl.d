@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dtx_sim Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Dtx_storage Dtx_xmark Dtx_xml Filename Fun List Printf QCheck QCheck_alcotest Random Sys Unix

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Dtx_txn Dtx_update Dtx_xpath List

@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Dtx_dataguide Dtx_update Dtx_util Dtx_xmark Dtx_xml Dtx_xpath List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dtx_frag Dtx_protocol Dtx_util Dtx_workload Format List String

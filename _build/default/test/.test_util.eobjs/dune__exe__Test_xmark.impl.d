@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest Dtx_frag Dtx_update Dtx_util Dtx_xmark Dtx_xml Dtx_xpath List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dtx_util Dtx_xml List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Dtx_xml Dtx_xpath Hashtbl List QCheck QCheck_alcotest

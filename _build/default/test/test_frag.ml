@@ -1,0 +1,165 @@
+(* Tests for fragmentation (size balance, coverage) and replica allocation
+   (total/partial, catalog). *)
+
+module Fragment = Dtx_frag.Fragment
+module Allocation = Dtx_frag.Allocation
+module Node = Dtx_xml.Node
+module Doc = Dtx_xml.Doc
+module Generator = Dtx_xmark.Generator
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let base nodes = Generator.generate (Generator.params_of_nodes nodes)
+
+let test_fragment_names () =
+  Alcotest.(check (list string)) "names" [ "x#0"; "x#1"; "x#2" ]
+    (Fragment.fragment_names "x" ~parts:3)
+
+let test_single_part_copy () =
+  let doc = base 300 in
+  match Fragment.fragment doc ~parts:1 with
+  | [ f ] ->
+    Alcotest.(check string) "renamed" "xmark#0" f.Doc.name;
+    checkb "identical content" true (Doc.equal_structure doc f)
+  | l -> Alcotest.failf "expected 1 fragment, got %d" (List.length l)
+
+let test_invalid_parts () =
+  Alcotest.check_raises "parts=0"
+    (Invalid_argument "Fragment.fragment: parts must be >= 1") (fun () ->
+      ignore (Fragment.fragment (base 300) ~parts:0))
+
+let test_fragments_share_schema () =
+  let doc = base 500 in
+  let frags = Fragment.fragment doc ~parts:3 in
+  check "three fragments" 3 (List.length frags);
+  List.iter
+    (fun f ->
+      Alcotest.(check string) "root" "site" f.Doc.root.Node.label;
+      (* Every first-level section is present in every fragment. *)
+      let sections = List.map (fun n -> n.Node.label) (Node.children f.Doc.root) in
+      List.iter
+        (fun s -> checkb ("has " ^ s) true (List.mem s sections))
+        [ "regions"; "categories"; "people"; "open_auctions"; "closed_auctions" ])
+    frags
+
+let test_units_partition () =
+  (* Every second-level unit of the base appears in exactly one fragment. *)
+  let doc = base 600 in
+  let frags = Fragment.fragment doc ~parts:4 in
+  let count_label l d =
+    Node.fold (fun acc n -> if n.Node.label = l then acc + 1 else acc) 0 d.Doc.root
+  in
+  List.iter
+    (fun label ->
+      let total = count_label label doc in
+      let sum = List.fold_left (fun a f -> a + count_label label f) 0 frags in
+      check ("partitioned " ^ label) total sum)
+    [ "person"; "item"; "open_auction"; "closed_auction"; "category" ]
+
+let test_fragment_validity () =
+  let frags = Fragment.fragment (base 600) ~parts:4 in
+  List.iter
+    (fun f -> checkb ("valid " ^ f.Doc.name) true (Doc.validate f = Ok ()))
+    frags
+
+let test_size_balance () =
+  let frags = Fragment.fragment (base 4000) ~parts:4 in
+  (* Kurita-style goal: similar sizes. Allow 1.6x skew (regions are chunky). *)
+  checkb "balanced" true (Fragment.size_imbalance frags < 1.6)
+
+let test_original_untouched () =
+  let doc = base 400 in
+  let before = Doc.size doc in
+  ignore (Fragment.fragment doc ~parts:3);
+  check "original intact" before (Doc.size doc);
+  checkb "valid" true (Doc.validate doc = Ok ())
+
+(* --- allocation ---------------------------------------------------------- *)
+
+let docs_for n = List.init n (fun i -> Doc.create ~name:(Printf.sprintf "d%d" i) ~root_label:"r")
+
+let test_total_replication () =
+  let ps = Allocation.allocate ~n_sites:3 Allocation.Total (docs_for 2) in
+  List.iter
+    (fun (p : Allocation.placement) ->
+      Alcotest.(check (list int)) "all sites" [ 0; 1; 2 ] p.Allocation.sites)
+    ps
+
+let test_partial_round_robin () =
+  let ps =
+    Allocation.allocate ~n_sites:3 (Allocation.Partial { copies = 1 }) (docs_for 4)
+  in
+  Alcotest.(check (list (list int))) "round robin"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 0 ] ]
+    (List.map (fun (p : Allocation.placement) -> p.Allocation.sites) ps)
+
+let test_partial_copies () =
+  let ps =
+    Allocation.allocate ~n_sites:4 (Allocation.Partial { copies = 2 }) (docs_for 4)
+  in
+  List.iteri
+    (fun i (p : Allocation.placement) ->
+      check ("copies of d" ^ string_of_int i) 2 (List.length p.Allocation.sites))
+    ps
+
+let test_allocate_invalid () =
+  Alcotest.check_raises "n_sites 0"
+    (Invalid_argument "Allocation.allocate: n_sites < 1") (fun () ->
+      ignore (Allocation.allocate ~n_sites:0 Allocation.Total []));
+  Alcotest.check_raises "copies too many"
+    (Invalid_argument "Allocation.allocate: copies out of range") (fun () ->
+      ignore
+        (Allocation.allocate ~n_sites:2 (Allocation.Partial { copies = 3 })
+           (docs_for 1)))
+
+let test_catalog () =
+  let ps =
+    Allocation.allocate ~n_sites:2 (Allocation.Partial { copies = 1 }) (docs_for 3)
+  in
+  let c = Allocation.catalog ps in
+  Alcotest.(check (list int)) "sites_of d0" [ 0 ] (Allocation.sites_of c "d0");
+  Alcotest.(check (list int)) "sites_of d1" [ 1 ] (Allocation.sites_of c "d1");
+  Alcotest.(check (list int)) "unknown" [] (Allocation.sites_of c "ghost");
+  Alcotest.(check (list string)) "docs at 0" [ "d0"; "d2" ] (Allocation.docs_at c 0);
+  Alcotest.(check (list string)) "all docs" [ "d0"; "d1"; "d2" ] (Allocation.all_docs c)
+
+let test_replication_strings () =
+  Alcotest.(check string) "total" "total" (Allocation.replication_to_string Allocation.Total);
+  Alcotest.(check string) "partial" "partial(x2)"
+    (Allocation.replication_to_string (Allocation.Partial { copies = 2 }))
+
+let prop_partition_is_total =
+  QCheck.Test.make ~name:"fragmentation loses no nodes (modulo skeletons)"
+    ~count:15
+    QCheck.(pair (int_range 300 1500) (int_range 1 6))
+    (fun (nodes, parts) ->
+      let doc = base nodes in
+      let frags = Fragment.fragment doc ~parts in
+      (* Sum of fragment sizes = base size + (parts-1) * skeleton size, where
+         the shared skeleton is root + sections (+ their attributes). For
+         our generator the skeleton has no attributes: 1 + #sections. *)
+      let skeleton = 1 + List.length (Node.children doc.Doc.root) in
+      let sum = List.fold_left (fun a f -> a + Doc.size f) 0 frags in
+      if parts = 1 then sum = Doc.size doc
+      else sum = Doc.size doc + ((parts - 1) * skeleton))
+
+let () =
+  Alcotest.run "frag"
+    [ ( "fragment",
+        [ Alcotest.test_case "names" `Quick test_fragment_names;
+          Alcotest.test_case "single part" `Quick test_single_part_copy;
+          Alcotest.test_case "invalid parts" `Quick test_invalid_parts;
+          Alcotest.test_case "shared schema" `Quick test_fragments_share_schema;
+          Alcotest.test_case "units partition" `Quick test_units_partition;
+          Alcotest.test_case "fragments valid" `Quick test_fragment_validity;
+          Alcotest.test_case "size balance" `Quick test_size_balance;
+          Alcotest.test_case "original untouched" `Quick test_original_untouched;
+          QCheck_alcotest.to_alcotest prop_partition_is_total ] );
+      ( "allocation",
+        [ Alcotest.test_case "total" `Quick test_total_replication;
+          Alcotest.test_case "partial round robin" `Quick test_partial_round_robin;
+          Alcotest.test_case "partial copies" `Quick test_partial_copies;
+          Alcotest.test_case "invalid" `Quick test_allocate_invalid;
+          Alcotest.test_case "catalog" `Quick test_catalog;
+          Alcotest.test_case "replication strings" `Quick test_replication_strings ] ) ]

@@ -1,0 +1,134 @@
+(* Unit tests for the execution-history recorder and its
+   conflict-serializability checker. *)
+
+module History = Dtx.History
+module Table = Dtx_locks.Table
+module Mode = Dtx_locks.Mode
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let r n = Table.resource "d" n
+
+let record h ~time ~txn ?(site = 0) ?(op = 0) ?(attempt = 1) grants =
+  History.record h ~time ~site ~txn ~op_index:op ~attempt grants
+
+let test_empty () =
+  let h = History.create () in
+  checkb "serializable" true (History.check_serializable h = Ok ());
+  check "no accesses" 0 (List.length (History.accesses h));
+  check "no edges" 0 (List.length (History.conflict_edges h))
+
+let test_commit_order_and_accesses () =
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 [ (r 1, Mode.ST) ];
+  record h ~time:2.0 ~txn:2 [ (r 2, Mode.ST) ];
+  History.note_commit h ~txn:2 ~time:3.0;
+  History.note_commit h ~txn:1 ~time:4.0;
+  Alcotest.(check (list (pair int (float 0.01)))) "commit order"
+    [ (2, 3.0); (1, 4.0) ] (History.committed h);
+  check "both accesses valid" 2 (List.length (History.accesses h));
+  check "size counts raw records" 2 (History.size h)
+
+let test_uncommitted_excluded () =
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 [ (r 1, Mode.X) ];
+  record h ~time:2.0 ~txn:2 [ (r 1, Mode.ST) ];
+  (* Nobody committed: no conflict edges at all. *)
+  check "no edges" 0 (List.length (History.conflict_edges h));
+  History.note_commit h ~txn:1 ~time:3.0;
+  (* Still no edge: txn 2 never committed. *)
+  check "still none" 0 (List.length (History.conflict_edges h))
+
+let test_conflict_edge_direction () =
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 [ (r 7, Mode.X) ];
+  record h ~time:2.0 ~txn:2 [ (r 7, Mode.ST) ];
+  History.note_commit h ~txn:1 ~time:1.5;
+  History.note_commit h ~txn:2 ~time:2.5;
+  Alcotest.(check (list (pair int int))) "earlier -> later" [ (1, 2) ]
+    (History.conflict_edges h);
+  checkb "acyclic" true (History.check_serializable h = Ok ())
+
+let test_compatible_modes_no_edge () =
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 [ (r 7, Mode.ST) ];
+  record h ~time:2.0 ~txn:2 [ (r 7, Mode.ST) ];
+  History.note_commit h ~txn:1 ~time:3.0;
+  History.note_commit h ~txn:2 ~time:3.5;
+  check "shared locks do not conflict" 0 (List.length (History.conflict_edges h))
+
+let test_sites_are_separate_resources () =
+  let h = History.create () in
+  History.record h ~time:1.0 ~site:0 ~txn:1 ~op_index:0 ~attempt:1
+    [ (r 7, Mode.X) ];
+  History.record h ~time:2.0 ~site:1 ~txn:2 ~op_index:0 ~attempt:1
+    [ (r 7, Mode.X) ];
+  History.note_commit h ~txn:1 ~time:3.0;
+  History.note_commit h ~txn:2 ~time:3.5;
+  check "same node id on different sites is no conflict" 0
+    (List.length (History.conflict_edges h))
+
+let test_invalidation_drops_attempt () =
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 ~op:3 ~attempt:1 [ (r 7, Mode.X) ];
+  record h ~time:2.0 ~txn:2 [ (r 7, Mode.ST) ];
+  History.invalidate h ~txn:1 ~op_index:3 ~attempt:1;
+  (* The undone attempt no longer conflicts... *)
+  History.note_commit h ~txn:1 ~time:3.0;
+  History.note_commit h ~txn:2 ~time:3.5;
+  check "no edge from undone attempt" 0 (List.length (History.conflict_edges h));
+  (* ...but a re-execution under a new attempt does. *)
+  record h ~time:4.0 ~txn:1 ~op:3 ~attempt:2 [ (r 7, Mode.X) ];
+  check "fresh attempt conflicts" 1 (List.length (History.conflict_edges h))
+
+let test_abort_drops_txn () =
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 [ (r 7, Mode.X) ];
+  record h ~time:2.0 ~txn:2 [ (r 7, Mode.ST) ];
+  History.note_commit h ~txn:1 ~time:3.0;
+  History.note_commit h ~txn:2 ~time:3.5;
+  check "edge present" 1 (List.length (History.conflict_edges h));
+  History.note_abort h ~txn:2;
+  check "aborted txn excluded" 0 (List.length (History.conflict_edges h))
+
+let test_cycle_detected () =
+  (* A non-serializable interleaving (impossible under strict 2PL, but the
+     checker must catch it if the mechanism ever regressed): t1 reads a
+     before t2 writes it, t2 reads b before t1 writes it. *)
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 ~op:0 [ (r 1, Mode.ST) ];
+  record h ~time:2.0 ~txn:2 ~op:0 [ (r 2, Mode.ST) ];
+  record h ~time:3.0 ~txn:2 ~op:1 [ (r 1, Mode.X) ];
+  record h ~time:4.0 ~txn:1 ~op:1 [ (r 2, Mode.X) ];
+  History.note_commit h ~txn:1 ~time:5.0;
+  History.note_commit h ~txn:2 ~time:6.0;
+  check "two edges" 2 (List.length (History.conflict_edges h));
+  match History.check_serializable h with
+  | Error msg -> checkb "cycle named" true (String.length msg > 10)
+  | Ok () -> Alcotest.fail "cycle missed"
+
+let test_value_resources_distinct () =
+  let h = History.create () in
+  record h ~time:1.0 ~txn:1 [ (Table.value_resource "d" 7 "a", Mode.ST) ];
+  record h ~time:2.0 ~txn:2 [ (Table.value_resource "d" 7 "b", Mode.X) ];
+  History.note_commit h ~txn:1 ~time:3.0;
+  History.note_commit h ~txn:2 ~time:3.5;
+  check "different values no conflict" 0 (List.length (History.conflict_edges h));
+  record h ~time:4.0 ~txn:1 ~op:1 [ (Table.value_resource "d" 7 "b", Mode.ST) ];
+  checkb "same value conflicts (time order 2 before 4 -> 2->1)" true
+    (History.conflict_edges h = [ (2, 1) ])
+
+let () =
+  Alcotest.run "history"
+    [ ( "history",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "commit order" `Quick test_commit_order_and_accesses;
+          Alcotest.test_case "uncommitted excluded" `Quick test_uncommitted_excluded;
+          Alcotest.test_case "edge direction" `Quick test_conflict_edge_direction;
+          Alcotest.test_case "compatible modes" `Quick test_compatible_modes_no_edge;
+          Alcotest.test_case "per-site resources" `Quick test_sites_are_separate_resources;
+          Alcotest.test_case "invalidation" `Quick test_invalidation_drops_attempt;
+          Alcotest.test_case "abort drops txn" `Quick test_abort_drops_txn;
+          Alcotest.test_case "cycle detected" `Quick test_cycle_detected;
+          Alcotest.test_case "value resources" `Quick test_value_resources_distinct ] ) ]

@@ -1,0 +1,303 @@
+(* Tests for lock modes (the XDGL compatibility matrix), the lock table and
+   the wait-for graph. *)
+
+module Mode = Dtx_locks.Mode
+module Table = Dtx_locks.Table
+module Wfg = Dtx_locks.Wfg
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- Mode --------------------------------------------------------------- *)
+
+let test_matrix_symmetric () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          checkb
+            (Printf.sprintf "compat %s/%s symmetric" (Mode.to_string a)
+               (Mode.to_string b))
+            (Mode.compatible a b) (Mode.compatible b a))
+        Mode.all)
+    Mode.all
+
+let test_exclusive_conflicts_with_all () =
+  List.iter
+    (fun m ->
+      checkb ("X vs " ^ Mode.to_string m) false (Mode.compatible Mode.X m);
+      checkb ("XT vs " ^ Mode.to_string m) false (Mode.compatible Mode.XT m))
+    Mode.all
+
+let test_paper_key_incompatibility () =
+  (* The Fig.-6 scenario hinges on IX vs ST. *)
+  checkb "IX/ST conflict" false (Mode.compatible Mode.IX Mode.ST);
+  checkb "IS/ST ok" true (Mode.compatible Mode.IS Mode.ST);
+  checkb "IS/IX ok" true (Mode.compatible Mode.IS Mode.IX)
+
+let test_shared_family_compatible () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          checkb
+            (Printf.sprintf "%s/%s shared-compatible" (Mode.to_string a)
+               (Mode.to_string b))
+            true (Mode.compatible a b))
+        [ Mode.IS; Mode.SI; Mode.SA; Mode.SB ])
+    [ Mode.IS; Mode.IX; Mode.SI; Mode.SA; Mode.SB ]
+
+let test_insert_shared_vs_tree () =
+  (* Insertion-shared locks update the subtree an ST protects. *)
+  checkb "SI/ST conflict" false (Mode.compatible Mode.SI Mode.ST);
+  checkb "SA/ST conflict" false (Mode.compatible Mode.SA Mode.ST);
+  checkb "SB/ST conflict" false (Mode.compatible Mode.SB Mode.ST);
+  checkb "ST/ST ok" true (Mode.compatible Mode.ST Mode.ST)
+
+let test_intention_for () =
+  checkb "X -> IX" true (Mode.intention_for Mode.X = Mode.IX);
+  checkb "XT -> IX" true (Mode.intention_for Mode.XT = Mode.IX);
+  checkb "ST -> IS" true (Mode.intention_for Mode.ST = Mode.IS);
+  checkb "SI -> IS" true (Mode.intention_for Mode.SI = Mode.IS);
+  checkb "IS -> IS" true (Mode.intention_for Mode.IS = Mode.IS);
+  checkb "IX -> IX" true (Mode.intention_for Mode.IX = Mode.IX)
+
+let test_mode_strings () =
+  List.iter
+    (fun m ->
+      match Mode.of_string (Mode.to_string m) with
+      | Some m' -> checkb "roundtrip" true (m = m')
+      | None -> Alcotest.fail "of_string failed")
+    Mode.all;
+  checkb "unknown" true (Mode.of_string "ZZ" = None)
+
+(* --- Table --------------------------------------------------------------- *)
+
+let r doc node = Table.resource doc node
+
+let test_acquire_release () =
+  let t = Table.create () in
+  (match Table.acquire_all t ~txn:1 [ (r "d" 1, Mode.ST); (r "d" 2, Mode.IS) ] with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "should grant");
+  check "grants" 2 (Table.lock_count t);
+  check "holders of 1" 1 (List.length (Table.holders t (r "d" 1)));
+  let freed = Table.release_txn t ~txn:1 in
+  check "freed resources" 2 (List.length freed);
+  check "empty" 0 (Table.lock_count t)
+
+let test_conflict_reported () =
+  let t = Table.create () in
+  ignore (Table.acquire_all t ~txn:1 [ (r "d" 1, Mode.ST) ]);
+  (match Table.acquire_all t ~txn:2 [ (r "d" 1, Mode.IX) ] with
+   | Error [ 1 ] -> ()
+   | Error l -> Alcotest.failf "wrong blockers (%d)" (List.length l)
+   | Ok () -> Alcotest.fail "should conflict");
+  (* All-or-nothing: the failed request must leave no grants behind. *)
+  check "txn 2 holds nothing" 0 (List.length (Table.locks_of t ~txn:2))
+
+let test_all_or_nothing () =
+  let t = Table.create () in
+  ignore (Table.acquire_all t ~txn:1 [ (r "d" 5, Mode.X) ]);
+  (match
+     Table.acquire_all t ~txn:2 [ (r "d" 4, Mode.IS); (r "d" 5, Mode.IS) ]
+   with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "should conflict on node 5");
+  checkb "node 4 untouched" true (Table.holders t (r "d" 4) = [])
+
+let test_own_locks_never_conflict () =
+  let t = Table.create () in
+  ignore (Table.acquire_all t ~txn:1 [ (r "d" 1, Mode.ST) ]);
+  (match Table.acquire_all t ~txn:1 [ (r "d" 1, Mode.X) ] with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "self-upgrade must succeed");
+  checkb "holds both modes" true
+    (Table.txn_holds t ~txn:1 (r "d" 1) Mode.ST
+     && Table.txn_holds t ~txn:1 (r "d" 1) Mode.X)
+
+let test_refcounted_grants () =
+  let t = Table.create () in
+  ignore (Table.acquire_all t ~txn:1 [ (r "d" 1, Mode.IS) ]);
+  ignore (Table.acquire_all t ~txn:1 [ (r "d" 1, Mode.IS) ]);
+  check "two grants" 2 (Table.lock_count t);
+  Table.release_request t ~txn:1 [ (r "d" 1, Mode.IS) ];
+  checkb "still held" true (Table.txn_holds t ~txn:1 (r "d" 1) Mode.IS);
+  Table.release_request t ~txn:1 [ (r "d" 1, Mode.IS) ];
+  checkb "now gone" false (Table.txn_holds t ~txn:1 (r "d" 1) Mode.IS);
+  check "empty" 0 (Table.lock_count t)
+
+let test_multiple_blockers_sorted () =
+  let t = Table.create () in
+  ignore (Table.acquire_all t ~txn:5 [ (r "d" 1, Mode.IS) ]);
+  ignore (Table.acquire_all t ~txn:3 [ (r "d" 1, Mode.IS) ]);
+  match Table.acquire_all t ~txn:9 [ (r "d" 1, Mode.X) ] with
+  | Error blockers -> Alcotest.(check (list int)) "sorted distinct" [ 3; 5 ] blockers
+  | Ok () -> Alcotest.fail "should conflict"
+
+let test_resources_namespaced_by_doc () =
+  let t = Table.create () in
+  ignore (Table.acquire_all t ~txn:1 [ (r "a" 1, Mode.X) ]);
+  match Table.acquire_all t ~txn:2 [ (r "b" 1, Mode.X) ] with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "same node id in another doc must not conflict"
+
+let prop_release_after_acquire_empty =
+  QCheck.Test.make ~name:"acquire-all then release-txn leaves table empty"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (pair (int_range 0 10) (int_range 0 7)))
+    (fun reqs ->
+      let t = Table.create () in
+      let modes = Array.of_list Mode.all in
+      let reqs =
+        List.map (fun (node, mi) -> (r "d" node, modes.(mi))) reqs
+      in
+      (match Table.acquire_all t ~txn:1 reqs with
+       | Ok () -> ()
+       | Error _ -> failwith "self conflict impossible");
+      ignore (Table.release_txn t ~txn:1);
+      Table.lock_count t = 0)
+
+(* --- Wfg ----------------------------------------------------------------- *)
+
+let test_wfg_edges () =
+  let g = Wfg.create () in
+  Wfg.add_wait g ~waiter:1 ~holders:[ 2; 3 ];
+  Alcotest.(check (list (pair int int))) "edges" [ (1, 2); (1, 3) ] (Wfg.edges g);
+  Alcotest.(check (list int)) "waits of 1" [ 2; 3 ] (Wfg.waits_of g 1);
+  check "size" 2 (Wfg.size g);
+  Wfg.add_wait g ~waiter:1 ~holders:[ 1 ];
+  check "self edge ignored" 2 (Wfg.size g)
+
+let test_wfg_no_cycle () =
+  let g = Wfg.create () in
+  Wfg.add_wait g ~waiter:1 ~holders:[ 2 ];
+  Wfg.add_wait g ~waiter:2 ~holders:[ 3 ];
+  checkb "chain has no cycle" true (Wfg.find_cycle g = None)
+
+let test_wfg_cycle () =
+  let g = Wfg.create () in
+  Wfg.add_wait g ~waiter:1 ~holders:[ 2 ];
+  Wfg.add_wait g ~waiter:2 ~holders:[ 1 ];
+  match Wfg.find_cycle g with
+  | Some cycle ->
+    Alcotest.(check (list int)) "both in cycle" [ 1; 2 ] (List.sort compare cycle)
+  | None -> Alcotest.fail "cycle missed"
+
+let test_wfg_remove_breaks_cycle () =
+  let g = Wfg.create () in
+  Wfg.add_wait g ~waiter:1 ~holders:[ 2 ];
+  Wfg.add_wait g ~waiter:2 ~holders:[ 3 ];
+  Wfg.add_wait g ~waiter:3 ~holders:[ 1 ];
+  checkb "cycle present" true (Wfg.find_cycle g <> None);
+  Wfg.remove_txn g 2;
+  checkb "cycle gone" true (Wfg.find_cycle g = None);
+  checkb "edges to 2 gone" true (List.for_all (fun (_, h) -> h <> 2) (Wfg.edges g))
+
+let test_wfg_clear_waits () =
+  let g = Wfg.create () in
+  Wfg.add_wait g ~waiter:1 ~holders:[ 2 ];
+  Wfg.add_wait g ~waiter:3 ~holders:[ 1 ];
+  Wfg.clear_waits_of g 1;
+  Alcotest.(check (list (pair int int))) "only 3->1 left" [ (3, 1) ] (Wfg.edges g)
+
+let test_wfg_union_finds_distributed_cycle () =
+  (* The paper's Fig.-6 situation: each site's graph is acyclic; the union
+     is not. *)
+  let s1 = Wfg.create () and s2 = Wfg.create () in
+  Wfg.add_wait s1 ~waiter:1 ~holders:[ 2 ];
+  Wfg.add_wait s2 ~waiter:2 ~holders:[ 1 ];
+  checkb "site 1 acyclic" true (Wfg.find_cycle s1 = None);
+  checkb "site 2 acyclic" true (Wfg.find_cycle s2 = None);
+  let merged = Wfg.union [ s1; s2 ] in
+  checkb "union cyclic" true (Wfg.find_cycle merged <> None);
+  (* Union must not mutate inputs. *)
+  check "s1 unchanged" 1 (Wfg.size s1)
+
+let test_wfg_copy_independent () =
+  let g = Wfg.create () in
+  Wfg.add_wait g ~waiter:1 ~holders:[ 2 ];
+  let c = Wfg.copy g in
+  Wfg.add_wait g ~waiter:2 ~holders:[ 1 ];
+  checkb "copy unaffected" true (Wfg.find_cycle c = None);
+  checkb "original cyclic" true (Wfg.find_cycle g <> None)
+
+(* Oracle: a cycle exists iff some txn can reach itself (naive reachability). *)
+let naive_has_cycle edges =
+  let succs x = List.filter_map (fun (a, b) -> if a = x then Some b else None) edges in
+  let txns = List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges) in
+  let reaches_self start =
+    let visited = Hashtbl.create 16 in
+    let rec go x =
+      List.exists
+        (fun y ->
+          y = start
+          ||
+          if Hashtbl.mem visited y then false
+          else begin
+            Hashtbl.add visited y ();
+            go y
+          end)
+        (succs x)
+    in
+    go start
+  in
+  List.exists reaches_self txns
+
+let prop_cycle_detection_matches_oracle =
+  QCheck.Test.make ~name:"find_cycle agrees with naive reachability" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 25) (pair (int_range 0 8) (int_range 0 8)))
+    (fun edges ->
+      let edges = List.filter (fun (a, b) -> a <> b) edges in
+      let g = Wfg.create () in
+      List.iter (fun (a, b) -> Wfg.add_wait g ~waiter:a ~holders:[ b ]) edges;
+      (Wfg.find_cycle g <> None) = naive_has_cycle edges)
+
+let prop_cycle_members_form_cycle =
+  QCheck.Test.make ~name:"reported cycle is a real cycle" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 25) (pair (int_range 0 8) (int_range 0 8)))
+    (fun edges ->
+      let edges = List.filter (fun (a, b) -> a <> b) edges in
+      let g = Wfg.create () in
+      List.iter (fun (a, b) -> Wfg.add_wait g ~waiter:a ~holders:[ b ]) edges;
+      match Wfg.find_cycle g with
+      | None -> true
+      | Some cycle ->
+        let n = List.length cycle in
+        n >= 2
+        && List.for_all
+             (fun i ->
+               let a = List.nth cycle i and b = List.nth cycle ((i + 1) mod n) in
+               List.mem b (Wfg.waits_of g a))
+             (List.init n (fun i -> i)))
+
+let () =
+  Alcotest.run "locks"
+    [ ( "modes",
+        [ Alcotest.test_case "matrix symmetric" `Quick test_matrix_symmetric;
+          Alcotest.test_case "X/XT conflict all" `Quick test_exclusive_conflicts_with_all;
+          Alcotest.test_case "IX vs ST (paper)" `Quick test_paper_key_incompatibility;
+          Alcotest.test_case "shared family" `Quick test_shared_family_compatible;
+          Alcotest.test_case "SI/SA/SB vs ST" `Quick test_insert_shared_vs_tree;
+          Alcotest.test_case "intention_for" `Quick test_intention_for;
+          Alcotest.test_case "strings" `Quick test_mode_strings ] );
+      ( "table",
+        [ Alcotest.test_case "acquire/release" `Quick test_acquire_release;
+          Alcotest.test_case "conflicts reported" `Quick test_conflict_reported;
+          Alcotest.test_case "all-or-nothing" `Quick test_all_or_nothing;
+          Alcotest.test_case "self never conflicts" `Quick test_own_locks_never_conflict;
+          Alcotest.test_case "refcounted" `Quick test_refcounted_grants;
+          Alcotest.test_case "blockers sorted" `Quick test_multiple_blockers_sorted;
+          Alcotest.test_case "doc namespaces" `Quick test_resources_namespaced_by_doc;
+          QCheck_alcotest.to_alcotest prop_release_after_acquire_empty ] );
+      ( "wfg",
+        [ Alcotest.test_case "edges" `Quick test_wfg_edges;
+          Alcotest.test_case "no cycle" `Quick test_wfg_no_cycle;
+          Alcotest.test_case "cycle" `Quick test_wfg_cycle;
+          Alcotest.test_case "remove breaks cycle" `Quick test_wfg_remove_breaks_cycle;
+          Alcotest.test_case "clear waits" `Quick test_wfg_clear_waits;
+          Alcotest.test_case "union distributed cycle" `Quick
+            test_wfg_union_finds_distributed_cycle;
+          Alcotest.test_case "copy independent" `Quick test_wfg_copy_independent;
+          QCheck_alcotest.to_alcotest prop_cycle_detection_matches_oracle;
+          QCheck_alcotest.to_alcotest prop_cycle_members_form_cycle ] ) ]

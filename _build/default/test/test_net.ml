@@ -1,0 +1,133 @@
+(* Tests for the simulated network: latency model, ordering, counters. *)
+
+module Sim = Dtx_sim.Sim
+module Net = Dtx_net.Net
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let test_latency_model () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim ~base_latency_ms:1.0 ~per_kb_ms:2.0 () in
+  checkf "local free" 0.0 (Net.latency net ~src:1 ~dst:1 ~bytes:4096);
+  checkf "base only" 1.0 (Net.latency net ~src:0 ~dst:1 ~bytes:0);
+  checkf "base + size" 3.0 (Net.latency net ~src:0 ~dst:1 ~bytes:1024)
+
+let test_delivery_time () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim ~base_latency_ms:0.5 ~per_kb_ms:0.0 () in
+  let at = ref (-1.0) in
+  Net.send net ~src:0 ~dst:1 (fun () -> at := Sim.now sim);
+  Sim.run sim;
+  checkf "delivered after base latency" 0.5 !at
+
+let test_local_delivery_still_async () =
+  (* src = dst delivers through the event queue (causal ordering), at the
+     current time. *)
+  let sim = Sim.create () in
+  let net = Net.create ~sim () in
+  let order = ref [] in
+  Net.send net ~src:0 ~dst:0 (fun () -> order := "delivered" :: !order);
+  order := "after-send" :: !order;
+  Sim.run sim;
+  Alcotest.(check (list string)) "send returns before delivery"
+    [ "delivered"; "after-send" ] !order
+
+let test_counters () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim () in
+  Net.send net ~src:0 ~dst:1 ~bytes:100 (fun () -> ());
+  Net.send net ~src:1 ~dst:2 ~bytes:200 (fun () -> ());
+  Net.send net ~src:2 ~dst:2 ~bytes:999 (fun () -> ());
+  check "remote messages" 2 (Net.messages net);
+  check "bytes" 300 (Net.bytes_sent net);
+  Net.reset_counters net;
+  check "reset" 0 (Net.messages net)
+
+let test_fifo_per_link () =
+  (* Messages of the same size on the same link arrive in send order. *)
+  let sim = Sim.create () in
+  let net = Net.create ~sim () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "in order" [ 5; 4; 3; 2; 1 ] !log
+
+let test_bigger_messages_slower () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim ~base_latency_ms:0.1 ~per_kb_ms:1.0 () in
+  let log = ref [] in
+  Net.send net ~src:0 ~dst:1 ~bytes:4096 (fun () -> log := "big" :: !log);
+  Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> log := "small" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "small overtakes big" [ "big"; "small" ] !log;
+  checkb "both arrived" true (List.length !log = 2)
+
+let test_profiles () =
+  let sim = Sim.create () in
+  let lan = Net.create ~sim () in
+  let wan = Net.create ~sim ~profile:Net.wan () in
+  checkb "wan slower" true
+    (Net.latency wan ~src:0 ~dst:1 ~bytes:1024
+     > Net.latency lan ~src:0 ~dst:1 ~bytes:1024);
+  let custom = Net.create ~sim ~profile:Net.wan ~base_latency_ms:1.0 () in
+  checkb "override wins" true
+    (Net.latency custom ~src:0 ~dst:1 ~bytes:0 < 2.0)
+
+let test_drop_pct () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim ~drop_pct:50 ~seed:3 () in
+  let delivered = ref 0 in
+  for _ = 1 to 200 do
+    Net.send net ~src:0 ~dst:1 ~reliable:false (fun () -> incr delivered)
+  done;
+  Sim.run sim;
+  check "sent counter includes drops" 200 (Net.messages net);
+  check "drops + deliveries = sends" 200 (!delivered + Net.dropped net);
+  checkb "roughly half dropped" true (Net.dropped net > 50 && Net.dropped net < 150)
+
+let test_reliable_exempt_from_loss () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim ~drop_pct:100 ~seed:3 () in
+  let delivered = ref 0 in
+  for _ = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 (fun () -> incr delivered)
+  done;
+  for _ = 1 to 20 do
+    Net.send net ~src:0 ~dst:1 ~reliable:false (fun () -> incr delivered)
+  done;
+  Sim.run sim;
+  check "reliable all delivered, unreliable none" 20 !delivered;
+  check "20 dropped" 20 (Net.dropped net)
+
+let test_local_never_dropped () =
+  let sim = Sim.create () in
+  let net = Net.create ~sim ~drop_pct:100 ~seed:3 () in
+  let delivered = ref 0 in
+  Net.send net ~src:1 ~dst:1 ~reliable:false (fun () -> incr delivered);
+  Sim.run sim;
+  check "local exempt" 1 !delivered
+
+let test_invalid_drop_pct () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Net.create: drop_pct")
+    (fun () -> ignore (Net.create ~sim ~drop_pct:101 ()))
+
+let () =
+  Alcotest.run "net"
+    [ ( "net",
+        [ Alcotest.test_case "latency model" `Quick test_latency_model;
+          Alcotest.test_case "delivery time" `Quick test_delivery_time;
+          Alcotest.test_case "local async" `Quick test_local_delivery_still_async;
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "fifo per link" `Quick test_fifo_per_link;
+          Alcotest.test_case "size-dependent" `Quick test_bigger_messages_slower ] );
+      ( "profiles+loss",
+        [ Alcotest.test_case "profiles" `Quick test_profiles;
+          Alcotest.test_case "drop pct" `Quick test_drop_pct;
+          Alcotest.test_case "reliable exempt" `Quick test_reliable_exempt_from_loss;
+          Alcotest.test_case "local exempt" `Quick test_local_never_dropped;
+          Alcotest.test_case "invalid drop" `Quick test_invalid_drop_pct ] ) ]

@@ -1,0 +1,310 @@
+(* Tests for the storage backends: memory and filesystem behave identically
+   through the STORE interface; loads are private copies. *)
+
+module Storage = Dtx_storage.Storage
+module Pager = Dtx_storage.Pager
+module Paged = Dtx_storage.Paged
+module Doc = Dtx_xml.Doc
+module Node = Dtx_xml.Node
+module Xml_parser = Dtx_xml.Parser
+module Generator = Dtx_xmark.Generator
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let sample () =
+  Xml_parser.parse ~name:"doc one"
+    "<people><person id=\"1\"><name>Ana</name></person></people>"
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dtx_storage_test_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let backends f =
+  f (Storage.memory ());
+  with_tmp_dir (fun dir -> f (Storage.filesystem ~dir));
+  with_tmp_dir (fun dir ->
+      f (Storage.paged ~path:(Filename.concat dir "store.dtxp") ()))
+
+let test_store_load_roundtrip () =
+  backends (fun s ->
+      let doc = sample () in
+      Storage.store s doc;
+      match Storage.load s doc.Doc.name with
+      | Some loaded ->
+        checkb
+          ("roundtrip on " ^ Storage.backend_name s)
+          true
+          (Doc.equal_structure doc loaded)
+      | None -> Alcotest.fail "load failed")
+
+let test_load_missing () =
+  backends (fun s ->
+      checkb "missing" true (Storage.load s "nope" = None);
+      checkb "mem" false (Storage.mem s "nope"))
+
+let test_list_sorted () =
+  backends (fun s ->
+      Storage.store s (Doc.create ~name:"b" ~root_label:"r");
+      Storage.store s (Doc.create ~name:"a" ~root_label:"r");
+      Storage.store s (Doc.create ~name:"c" ~root_label:"r");
+      Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] (Storage.list s))
+
+let test_overwrite () =
+  backends (fun s ->
+      let d1 = Doc.create ~name:"x" ~root_label:"v1" in
+      let d2 = Doc.create ~name:"x" ~root_label:"v2" in
+      Storage.store s d1;
+      Storage.store s d2;
+      match Storage.load s "x" with
+      | Some d -> Alcotest.(check string) "latest wins" "v2" d.Doc.root.Node.label
+      | None -> Alcotest.fail "load failed")
+
+let test_remove () =
+  backends (fun s ->
+      Storage.store s (sample ());
+      Storage.remove s "doc one";
+      checkb "gone" true (Storage.load s "doc one" = None);
+      (* Removing again is harmless. *)
+      Storage.remove s "doc one")
+
+let test_load_is_private_copy () =
+  backends (fun s ->
+      let doc = sample () in
+      Storage.store s doc;
+      (match Storage.load s doc.Doc.name with
+       | Some copy ->
+         copy.Doc.root.Node.label <- "mutated";
+         (match Storage.load s doc.Doc.name with
+          | Some again ->
+            Alcotest.(check string) "store unaffected" "people"
+              again.Doc.root.Node.label
+          | None -> Alcotest.fail "second load failed")
+       | None -> Alcotest.fail "load failed"))
+
+let test_awkward_names () =
+  backends (fun s ->
+      (* Fragment names contain '#'; also test slashes and unicode-ish. *)
+      List.iter
+        (fun name ->
+          let d = Doc.create ~name ~root_label:"r" in
+          Storage.store s d;
+          checkb ("load " ^ name) true (Storage.load s name <> None))
+        [ "xmark#0"; "a/b"; "weird name!"; "d1" ];
+      check "all listed" 4 (List.length (Storage.list s)))
+
+let test_counters () =
+  let s = Storage.memory () in
+  Storage.store s (sample ());
+  ignore (Storage.load s "doc one");
+  ignore (Storage.load s "doc one");
+  check "loads" 2 (Storage.load_count s);
+  check "stores" 1 (Storage.store_count s)
+
+let test_filesystem_persists_across_handles () =
+  with_tmp_dir (fun dir ->
+      let s1 = Storage.filesystem ~dir in
+      Storage.store s1 (sample ());
+      (* A second handle over the same directory sees the document. *)
+      let s2 = Storage.filesystem ~dir in
+      match Storage.load s2 "doc one" with
+      | Some d -> checkb "persisted" true (Doc.equal_structure d (sample ()))
+      | None -> Alcotest.fail "not persisted")
+
+let test_filesystem_roundtrip_xmark () =
+  with_tmp_dir (fun dir ->
+      let s = Storage.filesystem ~dir in
+      let doc = Generator.generate (Generator.params_of_nodes 600) in
+      Storage.store s doc;
+      match Storage.load s doc.Doc.name with
+      | Some loaded -> checkb "xmark roundtrip" true (Doc.equal_structure doc loaded)
+      | None -> Alcotest.fail "load failed")
+
+(* --- pager ---------------------------------------------------------------- *)
+
+let with_pager ?(pool = 4) f =
+  with_tmp_dir (fun dir ->
+      let pager = Pager.open_file ~path:(Filename.concat dir "p.db") ~pool_pages:pool in
+      Fun.protect ~finally:(fun () -> Pager.close pager) (fun () -> f pager))
+
+let page_with_byte b =
+  let p = Bytes.make Pager.page_size '\000' in
+  Bytes.set p 0 b;
+  p
+
+let test_pager_alloc_rw () =
+  with_pager (fun pager ->
+      check "starts with header page" 1 (Pager.page_count pager);
+      let a = Pager.alloc pager and b = Pager.alloc pager in
+      checkb "distinct ids" true (a <> b && a > 0 && b > 0);
+      Pager.write pager a (page_with_byte 'A');
+      Pager.write pager b (page_with_byte 'B');
+      checkb "read back" true
+        (Bytes.get (Pager.read pager a) 0 = 'A'
+         && Bytes.get (Pager.read pager b) 0 = 'B'))
+
+let test_pager_bad_args () =
+  with_pager (fun pager ->
+      Alcotest.check_raises "oob read"
+        (Invalid_argument "Pager.read: page 9 out of range") (fun () ->
+          ignore (Pager.read pager 9));
+      Alcotest.check_raises "bad size" (Invalid_argument "Pager.write: bad size")
+        (fun () -> Pager.write pager 0 (Bytes.create 7)));
+  with_tmp_dir (fun dir ->
+      Alcotest.check_raises "pool < 1"
+        (Invalid_argument "Pager.open_file: pool_pages < 1") (fun () ->
+          ignore (Pager.open_file ~path:(Filename.concat dir "x") ~pool_pages:0)))
+
+let test_pager_eviction_and_persistence () =
+  with_pager ~pool:2 (fun pager ->
+      (* Write 6 pages through a 2-frame pool: evictions must spill to disk
+         and reads must bring the data back intact. *)
+      let ids = List.init 6 (fun _ -> Pager.alloc pager) in
+      List.iteri
+        (fun i id -> Pager.write pager id (page_with_byte (Char.chr (65 + i))))
+        ids;
+      checkb "pool bounded" true (Pager.pool_resident pager <= 2);
+      List.iteri
+        (fun i id ->
+          checkb
+            (Printf.sprintf "page %d content survives eviction" id)
+            true
+            (Bytes.get (Pager.read pager id) 0 = Char.chr (65 + i)))
+        ids;
+      let st = Pager.stats pager in
+      checkb "evictions happened" true (st.Pager.evictions > 0);
+      checkb "disk was read" true (st.Pager.disk_reads > 0))
+
+let test_pager_survives_reopen () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "p.db" in
+      let pager = Pager.open_file ~path ~pool_pages:4 in
+      let id = Pager.alloc pager in
+      Pager.write pager id (page_with_byte 'Z');
+      Pager.close pager;
+      let pager2 = Pager.open_file ~path ~pool_pages:4 in
+      Fun.protect ~finally:(fun () -> Pager.close pager2) (fun () ->
+          check "page count persisted" 2 (Pager.page_count pager2);
+          checkb "data persisted" true (Bytes.get (Pager.read pager2 id) 0 = 'Z')))
+
+(* --- paged store ------------------------------------------------------------ *)
+
+let test_paged_multi_page_docs () =
+  with_tmp_dir (fun dir ->
+      let p = Paged.open_store ~path:(Filename.concat dir "s.dtxp") ~pool_pages:8 () in
+      Fun.protect ~finally:(fun () -> Paged.close p) (fun () ->
+          (* ~20k nodes serialize far beyond one 4 KiB page. *)
+          let doc = Generator.generate (Generator.params_of_nodes 3000) in
+          Paged.store p doc;
+          checkb "spans many pages" true (Paged.page_count p > 10);
+          match Paged.load p doc.Doc.name with
+          | Some loaded -> checkb "roundtrip" true (Doc.equal_structure doc loaded)
+          | None -> Alcotest.fail "load failed"))
+
+let test_paged_free_list_reuse () =
+  with_tmp_dir (fun dir ->
+      let p = Paged.open_store ~path:(Filename.concat dir "s.dtxp") () in
+      Fun.protect ~finally:(fun () -> Paged.close p) (fun () ->
+          let doc = Generator.generate (Generator.params_of_nodes 1000) in
+          Paged.store p doc;
+          let after_first = Paged.page_count p in
+          (* Overwriting frees the old chain and reuses it: the file must not
+             keep growing. *)
+          for _ = 1 to 10 do Paged.store p doc done;
+          checkb "file growth bounded by one extra chain" true
+            (Paged.page_count p <= (2 * after_first) + 2);
+          Paged.remove p doc.Doc.name;
+          checkb "pages returned to free list" true (Paged.free_pages p > 0);
+          checkb "gone" true (Paged.load p doc.Doc.name = None)))
+
+let test_paged_survives_reopen () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "s.dtxp" in
+      let p = Paged.open_store ~path () in
+      let doc = sample () in
+      Paged.store p doc;
+      Paged.close p;
+      let p2 = Paged.open_store ~path () in
+      Fun.protect ~finally:(fun () -> Paged.close p2) (fun () ->
+          Alcotest.(check (list string)) "directory persisted" [ "doc one" ]
+            (Paged.list p2);
+          match Paged.load p2 "doc one" with
+          | Some d -> checkb "content persisted" true (Doc.equal_structure d (sample ()))
+          | None -> Alcotest.fail "not persisted"))
+
+let test_paged_small_pool_still_correct () =
+  with_tmp_dir (fun dir ->
+      (* A pool of 2 frames forces constant eviction; correctness must not
+         depend on residency. *)
+      let p = Paged.open_store ~path:(Filename.concat dir "s.dtxp") ~pool_pages:2 () in
+      Fun.protect ~finally:(fun () -> Paged.close p) (fun () ->
+          let docs =
+            List.init 5 (fun i ->
+                Generator.generate ~name:(Printf.sprintf "d%d" i)
+                  (Generator.params_of_nodes (300 + (100 * i))))
+          in
+          List.iter (Paged.store p) docs;
+          List.iter
+            (fun (d : Doc.t) ->
+              match Paged.load p d.Doc.name with
+              | Some l ->
+                checkb (d.Doc.name ^ " intact") true (Doc.equal_structure d l)
+              | None -> Alcotest.fail "load failed")
+            docs;
+          let st = Paged.pager_stats p in
+          checkb "pool thrashed (evictions)" true (st.Pager.evictions > 10)))
+
+let prop_paged_random_roundtrip =
+  QCheck.Test.make ~name:"paged store roundtrips random documents" ~count:15
+    QCheck.(pair (int_range 100 1500) (int_range 2 16))
+    (fun (nodes, pool) ->
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "dtx_paged_prop_%d_%d_%d" (Unix.getpid ()) nodes pool)
+      in
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+      Sys.mkdir dir 0o755;
+      let p = Paged.open_store ~path:(Filename.concat dir "s.dtxp") ~pool_pages:pool () in
+      Fun.protect
+        ~finally:(fun () ->
+          Paged.close p;
+          ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+        (fun () ->
+          let doc = Generator.generate (Generator.params_of_nodes nodes) in
+          Paged.store p doc;
+          match Paged.load p doc.Doc.name with
+          | Some l -> Doc.equal_structure doc l
+          | None -> false))
+
+let () =
+  Alcotest.run "storage"
+    [ ( "interface",
+        [ Alcotest.test_case "roundtrip" `Quick test_store_load_roundtrip;
+          Alcotest.test_case "missing" `Quick test_load_missing;
+          Alcotest.test_case "list sorted" `Quick test_list_sorted;
+          Alcotest.test_case "overwrite" `Quick test_overwrite;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "private copies" `Quick test_load_is_private_copy;
+          Alcotest.test_case "awkward names" `Quick test_awkward_names;
+          Alcotest.test_case "counters" `Quick test_counters ] );
+      ( "filesystem",
+        [ Alcotest.test_case "persists across handles" `Quick
+            test_filesystem_persists_across_handles;
+          Alcotest.test_case "xmark roundtrip" `Quick test_filesystem_roundtrip_xmark ] );
+      ( "pager",
+        [ Alcotest.test_case "alloc + rw" `Quick test_pager_alloc_rw;
+          Alcotest.test_case "bad args" `Quick test_pager_bad_args;
+          Alcotest.test_case "eviction" `Quick test_pager_eviction_and_persistence;
+          Alcotest.test_case "reopen" `Quick test_pager_survives_reopen ] );
+      ( "paged store",
+        [ Alcotest.test_case "multi-page docs" `Quick test_paged_multi_page_docs;
+          Alcotest.test_case "free-list reuse" `Quick test_paged_free_list_reuse;
+          Alcotest.test_case "reopen" `Quick test_paged_survives_reopen;
+          Alcotest.test_case "tiny pool" `Quick test_paged_small_pool_still_correct;
+          QCheck_alcotest.to_alcotest prop_paged_random_roundtrip ] ) ]
