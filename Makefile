@@ -1,0 +1,19 @@
+# Convenience targets. `make check` is the gate a change must pass.
+# (ocamlformat is not pinned in this environment, so formatting is not
+# part of the gate; add it here if/when the binary is available.)
+
+.PHONY: check build test bench clean
+
+check: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- quick
+
+clean:
+	dune clean

@@ -164,15 +164,32 @@ let ablation () =
     [ ("detection", Dtx.Site.Detection); ("wait-die", Dtx.Site.Wait_die);
       ("wound-wait", Dtx.Site.Wound_wait) ];
   Format.fprintf ppf "@.== Ablation: commit protocol (paper future work: atomicity via 2PC) ==@.";
-  Format.fprintf ppf "%-10s %-12s %-12s %-12s@." "commit" "mean(ms)"
-    "makespan" "messages";
+  Format.fprintf ppf "%-10s %-12s %-12s %-12s %-12s@." "commit" "mean(ms)"
+    "makespan" "messages" "net bytes";
+  let traffic_breakdowns =
+    List.map
+      (fun (name, two_phase) ->
+        let r = Workload.run { base with two_phase_commit = two_phase } in
+        Format.fprintf ppf "%-10s %-12.1f %-12.1f %-12d %-12d@." name
+          r.Workload.response.Dtx_util.Stats.mean r.Workload.makespan_ms
+          r.Workload.messages r.Workload.net_bytes;
+        (name, r.Workload.traffic))
+      [ ("1-phase", false); ("2-phase", true) ]
+  in
+  (* Per-message-type traffic: where the extra 2PC round shows up. *)
   List.iter
-    (fun (name, two_phase) ->
-      let r = Workload.run { base with two_phase_commit = two_phase } in
-      Format.fprintf ppf "%-10s %-12.1f %-12.1f %-12d@." name
-        r.Workload.response.Dtx_util.Stats.mean r.Workload.makespan_ms
-        r.Workload.messages)
-    [ ("1-phase", false); ("2-phase", true) ];
+    (fun (name, traffic) ->
+      Format.fprintf ppf "@.-- %s traffic by message type --@." name;
+      Format.fprintf ppf "%-12s %8s %8s %10s@." "message" "sent" "dropped"
+        "bytes";
+      List.iter
+        (fun (row : Dtx_net.Net.traffic) ->
+          Format.fprintf ppf "%-12s %8d %8d %10d@."
+            (Dtx_net.Msg.Kind.to_string row.Dtx_net.Net.t_kind)
+            row.Dtx_net.Net.t_sent row.Dtx_net.Net.t_dropped
+            row.Dtx_net.Net.t_bytes)
+        traffic)
+    traffic_breakdowns;
   Format.fprintf ppf "@.== Ablation: LAN vs WAN (paper future work: WAN environments) ==@.";
   Format.fprintf ppf "%-8s %-12s %-12s %-12s %-14s@." "link" "mean(ms)"
     "p95(ms)" "makespan" "deadlocks";

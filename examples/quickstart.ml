@@ -80,4 +80,5 @@ let () =
   let s = Cluster.stats cluster in
   Printf.printf "committed=%d aborted=%d messages=%d lock requests=%d\n"
     s.Cluster.committed s.Cluster.aborted (Net.messages net)
-    (Cluster.total_lock_requests cluster)
+    (Cluster.total_lock_requests cluster);
+  Format.printf "message breakdown:@\n%a@." Net.pp_traffic net

@@ -153,4 +153,5 @@ let () =
     "10 deposits over a 15%%-lossy link: %d committed, %d timed out/aborted \
      (%d messages dropped); replicas still agree: %b\n"
     c a (Net.dropped net)
-    (Dtx_xml.Doc.equal_structure (replica cluster 0) (replica cluster 1))
+    (Dtx_xml.Doc.equal_structure (replica cluster 0) (replica cluster 1));
+  Format.printf "traffic by message type:@\n%a@." Net.pp_traffic net

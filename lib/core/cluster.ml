@@ -1,18 +1,12 @@
 module Sim = Dtx_sim.Sim
 module Net = Dtx_net.Net
-module Txn = Dtx_txn.Txn
-module Op = Dtx_update.Op
+module Msg = Dtx_net.Msg
 module Wfg = Dtx_locks.Wfg
 module Allocation = Dtx_frag.Allocation
 module Storage = Dtx_storage.Storage
 module Protocol = Dtx_protocol.Protocol
-module Vec = Dtx_util.Vec
 
-let src = Logs.Src.create "dtx.cluster" ~doc:"DTX cluster events"
-
-module Log = (val Logs.src_log src : Logs.LOG)
-
-type commit_protocol = One_phase | Two_phase
+type commit_protocol = Coordinator.commit_protocol = One_phase | Two_phase
 
 type config = {
   protocol : Protocol.kind;
@@ -29,7 +23,7 @@ let default_config ?(protocol = Protocol.Xdgl) () =
     storage = `Memory; commit = One_phase;
     deadlock_policy = Site.Detection; op_timeout_ms = None }
 
-type stats = {
+type stats = Coordinator.stats = {
   mutable submitted : int;
   mutable committed : int;
   mutable aborted : int;
@@ -41,78 +35,36 @@ type stats = {
   mutable wake_messages : int;
   mutable wounded : int;
   mutable last_finish : float;
-  response_times : float Vec.t;
-  commit_stamps : float Vec.t;
-  concurrency_samples : (float * int) Vec.t;
-}
-
-let fresh_stats () =
-  { submitted = 0; committed = 0; aborted = 0; failed = 0; deadlock_aborts = 0;
-    distributed_deadlocks = 0; local_deadlocks = 0; op_undos = 0;
-    wake_messages = 0; wounded = 0; last_finish = 0.0;
-    response_times = Vec.create ();
-    commit_stamps = Vec.create (); concurrency_samples = Vec.create () }
-
-(* Why a transaction ended the way it did (drives the deadlock counters). *)
-type end_reason = Reason_normal | Reason_deadlock | Reason_op_failure of string
-
-type reply = {
-  r_site : int;
-  r_granted : bool;
-  r_blocked : bool;
-  r_deadlock : bool;
-  r_failed : string option;
-}
-
-type txn_state = {
-  txn : Txn.t;
-  on_finish : Txn.t -> unit;
-  mutable attempt : int;  (** attempt counter for the current operation *)
-  mutable sites_left : int list;  (** participants still to visit, ascending *)
-  mutable sites_done : int list;  (** participants that executed this attempt *)
-  mutable awaiting_site : int option;
-      (** participant whose status reply is outstanding (timeout guard) *)
-  mutable wake_pending : bool;
-      (** a wake arrived while this attempt was in flight; retry instead of
-          sleeping (prevents the lost-wakeup race) *)
-  mutable finishing : bool;  (** commit/abort protocol already started *)
-  mutable prepared : bool;  (** 2PC: the vote round completed successfully *)
-  mutable end_commit : bool;  (** the in-flight end protocol is a commit *)
-  mutable end_acks_pending : int;
-  mutable end_ack_failed : bool;
-  mutable reason : end_reason;
+  response_times : float Dtx_util.Vec.t;
+  commit_stamps : float Dtx_util.Vec.t;
+  concurrency_samples : (float * int) Dtx_util.Vec.t;
 }
 
 type t = {
   sim : Sim.t;
   net : Net.t;
-  cost : Cost.t;
   config : config;
   n_sites : int;
   sites : Site.t array;
   catalog : Allocation.catalog;
-  txns : (int, txn_state) Hashtbl.t;
-  mutable next_txn_id : int;
-  stats : stats;
+  coord : Coordinator.t;
+  participants : Participant.ctx array;
+  failed_sites : (int, unit) Hashtbl.t;
   mutable shutdown_requested : bool;
   mutable detector_busy : bool;
-  mutable active : int;
-  failed_sites : (int, unit) Hashtbl.t;
+  mutable detector_merged : Wfg.t;
   mutable history : History.t option;
 }
 
-let stats t = t.stats
+let stats t = Coordinator.stats t.coord
 
-let active_txns t = t.active
+let active_txns t = Coordinator.active t.coord
 
 let sites t = t.sites
 
 let catalog t = t.catalog
 
-let txn_status t id =
-  match Hashtbl.find_opt t.txns id with
-  | Some st -> Some st.txn.Txn.status
-  | None -> None
+let txn_status t id = Coordinator.txn_status t.coord id
 
 let total_lock_requests t =
   Array.fold_left (fun acc s -> acc + s.Site.stats.Site.lock_requests) 0 t.sites
@@ -136,517 +88,61 @@ let recover_site t ~site =
 
 let site_failed t site = Hashtbl.mem t.failed_sites site
 
-let sample_concurrency t =
-  Vec.push t.stats.concurrency_samples (Sim.now t.sim, t.active)
-
-(* Serialize heavy work on a site's scheduler: run [k] once the site is free;
-   [k] must set [busy_until] itself (via [charge]). *)
-let rec on_site_free t (site : Site.t) k =
-  let now = Sim.now t.sim in
-  if now >= site.Site.busy_until then k ()
-  else
-    ignore
-      (Sim.schedule_at t.sim ~time:site.Site.busy_until (fun () ->
-           on_site_free t site k))
-
-let charge t (site : Site.t) cost =
-  site.Site.busy_until <- Sim.now t.sim +. cost
-
-(* Retry delay after a wake: a deterministic, per-transaction stagger.
-   Without it, two transactions blocked on each other's undone operations
-   wake simultaneously, collide again, undo again — a livelock the periodic
-   detector would eventually resolve by aborting one of them. Staggering by
-   id and attempt lets the earlier transaction win the race instead. *)
-let retry_delay t (st : txn_state) =
-  t.cost.Cost.sched_ms
-  +. (0.3 *. float_of_int (st.txn.Txn.id mod 8))
-  +. (0.2 *. float_of_int (min st.attempt 20))
-
-(* ------------------------------------------------------------------ *)
-(* Coordinator: Algorithm 1                                            *)
-(* ------------------------------------------------------------------ *)
-
-let rec coordinator_step t (st : txn_state) =
-  if (not st.finishing) && st.txn.Txn.status = Txn.Active then begin
-    match Txn.next_operation st.txn with
-    | None -> start_end_protocol t st ~commit:true
-    | Some op_rec -> (
-      let doc = op_rec.Txn.doc in
-      match Allocation.sites_of t.catalog doc with
-      | [] ->
-        st.reason <- Reason_op_failure (Printf.sprintf "no site holds %s" doc);
-        start_end_protocol t st ~commit:false
-      | op_sites ->
-        (* Visit participants one at a time, in ascending site order (a
-           global acquisition order: two operations contending for the same
-           replicas meet at the same first site, so one queues there holding
-           nothing — no cross-site livelock between single operations). *)
-        st.attempt <- st.attempt + 1;
-        st.sites_left <- List.sort compare op_sites;
-        st.sites_done <- [];
-        Log.debug (fun m ->
-            m "t%d op%d attempt %d -> sites [%s]" st.txn.Txn.id
-              op_rec.Txn.op_index st.attempt
-              (String.concat ";" (List.map string_of_int op_sites)));
-        visit_next_site t st)
-  end
-
-and visit_next_site t (st : txn_state) =
-  match (st.sites_left, Txn.next_operation st.txn) with
-  | [], Some op_rec ->
-    (* Executed at every participant: the operation is done (Alg. 1). *)
-    op_rec.Txn.executed_sites <- st.sites_done;
-    Txn.advance st.txn;
-    ignore
-      (Sim.schedule t.sim ~delay:t.cost.Cost.sched_ms (fun () ->
-           coordinator_step t st))
-  | dst :: rest, Some op_rec ->
-    st.sites_left <- rest;
-    st.awaiting_site <- Some dst;
-    let attempt = st.attempt in
-    let bytes =
-      t.cost.Cost.op_msg_bytes + String.length (Op.to_string op_rec.Txn.op)
-    in
-    Net.send t.net ~src:st.txn.Txn.coordinator ~dst ~bytes ~reliable:false
-      (fun () ->
-        participant_exec t ~site_id:dst ~txn_id:st.txn.Txn.id
-          ~op_index:op_rec.Txn.op_index ~attempt ~doc:op_rec.Txn.doc
-          ~op:op_rec.Txn.op ~coordinator:st.txn.Txn.coordinator);
-    (match t.config.op_timeout_ms with
-     | None -> ()
-     | Some timeout ->
-       ignore
-         (Sim.schedule t.sim ~delay:timeout (fun () ->
-              if
-                st.attempt = attempt && (not st.finishing)
-                && st.awaiting_site = Some dst
-                && st.txn.Txn.status = Txn.Active
-                && Hashtbl.mem t.txns st.txn.Txn.id
-              then begin
-                Log.debug (fun m ->
-                    m "t%d op timeout at site %d" st.txn.Txn.id dst);
-                st.reason <-
-                  Reason_op_failure
-                    (Printf.sprintf "operation timed out at site %d" dst);
-                start_end_protocol t st ~commit:false
-              end)))
-  | _, None -> start_end_protocol t st ~commit:true
-
-(* Participant: Algorithm 2 — process a remote operation in the local
-   LockManager and report its status to the coordinator. *)
-and participant_exec t ~site_id ~txn_id ~op_index ~attempt ~doc ~op ~coordinator =
-  let site = t.sites.(site_id) in
-  if site_failed t site_id then
-    Net.send t.net ~src:site_id ~dst:coordinator ~bytes:t.cost.Cost.ack_msg_bytes
-      ~reliable:false (fun () ->
-        handle_op_reply t ~txn_id ~attempt
-          { r_site = site_id; r_granted = false; r_blocked = false;
-            r_deadlock = false; r_failed = Some "site unavailable" })
-  else
-    on_site_free t site (fun () ->
-        (* The transaction may have been aborted while this message was in
-           flight; executing for a dead transaction would leak effects that
-           no later abort cleans up. *)
-        let still_live =
-          match Hashtbl.find_opt t.txns txn_id with
-          | Some st -> (not st.finishing) && st.attempt = attempt
-          | None -> false
-        in
-        if not still_live then
-          Net.send t.net ~src:site_id ~dst:coordinator
-            ~bytes:t.cost.Cost.ack_msg_bytes ~reliable:false (fun () ->
-              handle_op_reply t ~txn_id ~attempt
-                { r_site = site_id; r_granted = false; r_blocked = false;
-                  r_deadlock = false; r_failed = Some "transaction ended" })
-        else begin
-          let outcome =
-            Site.process_operation site ~txn:txn_id ~op_index ~attempt ~doc op
-          in
-          let c = t.cost in
-          let work, reply =
-            match outcome with
-            | Site.Granted { lock_requests; touched; result_nodes } ->
-              ( c.Cost.sched_ms
-                +. (float_of_int lock_requests *. c.Cost.lock_request_ms)
-                +. (float_of_int touched *. c.Cost.node_touch_ms),
-                { r_site = site_id; r_granted = true; r_blocked = false;
-                  r_deadlock = false; r_failed = None }
-                |> fun r -> (r, result_nodes) |> fst )
-            | Site.Blocked { lock_requests; blockers; wound } ->
-              List.iter
-                (fun b ->
-                  Site.register_waiter site ~blocker:b
-                    { Site.waiting_txn = txn_id;
-                      waiting_coordinator = coordinator })
-                blockers;
-              (* Wound-wait: the scheduler aborts the younger holders; the
-                 requester's wake arrives when their locks release. *)
-              List.iter
-                (fun victim ->
-                  match Hashtbl.find_opt t.txns victim with
-                  | Some vst when not vst.finishing ->
-                    t.stats.wounded <- t.stats.wounded + 1;
-                    vst.reason <- Reason_deadlock;
-                    Net.send t.net ~src:site_id ~dst:vst.txn.Txn.coordinator
-                      ~bytes:c.Cost.ack_msg_bytes (fun () ->
-                        start_end_protocol t vst ~commit:false)
-                  | _ -> ())
-                wound;
-              ( c.Cost.sched_ms
-                +. (float_of_int lock_requests *. c.Cost.lock_request_ms),
-                { r_site = site_id; r_granted = false; r_blocked = true;
-                  r_deadlock = false; r_failed = None } )
-            | Site.Deadlock { lock_requests } ->
-              ( c.Cost.sched_ms
-                +. (float_of_int lock_requests *. c.Cost.lock_request_ms),
-                { r_site = site_id; r_granted = false; r_blocked = false;
-                  r_deadlock = true; r_failed = None } )
-            | Site.Op_failed msg ->
-              ( c.Cost.sched_ms,
-                { r_site = site_id; r_granted = false; r_blocked = false;
-                  r_deadlock = false; r_failed = Some msg } )
-          in
-          let result_nodes =
-            match outcome with
-            | Site.Granted { result_nodes; _ } -> result_nodes
-            | _ -> 0
-          in
-          charge t site work;
-          let bytes =
-            c.Cost.ack_msg_bytes + (result_nodes * c.Cost.result_bytes_per_node)
-          in
-          ignore
-            (Sim.schedule t.sim ~delay:work (fun () ->
-                 Net.send t.net ~src:site_id ~dst:coordinator ~bytes
-                   ~reliable:false (fun () ->
-                     handle_op_reply t ~txn_id ~attempt reply)))
-        end)
-
-and handle_op_reply t ~txn_id ~attempt reply =
-  match Hashtbl.find_opt t.txns txn_id with
-  | None -> ()
-  | Some st ->
-    if st.attempt = attempt && not st.finishing then begin
-      st.awaiting_site <- None;
-      if reply.r_deadlock then begin
-        t.stats.local_deadlocks <- t.stats.local_deadlocks + 1;
-        st.reason <- Reason_deadlock;
-        start_end_protocol t st ~commit:false
-      end
-      else
-        match reply.r_failed with
-        | Some msg ->
-          st.reason <- Reason_op_failure msg;
-          start_end_protocol t st ~commit:false
-        | None ->
-          if reply.r_granted then begin
-            st.sites_done <- reply.r_site :: st.sites_done;
-            visit_next_site t st
-          end
-          else begin
-            (* Blocked at this participant: undo where the operation already
-               ran (Alg. 1 l. 15-17), wake anyone those locks were holding
-               back, and wait. *)
-            assert reply.r_blocked;
-            (match Txn.next_operation st.txn with
-             | Some op_rec ->
-               let op_index = op_rec.Txn.op_index in
-               let attempt = st.attempt in
-               if st.sites_done <> [] then
-                 t.stats.op_undos <-
-                   t.stats.op_undos + List.length st.sites_done;
-               List.iter
-                 (fun site_id ->
-                   Net.send t.net ~src:st.txn.Txn.coordinator ~dst:site_id
-                     ~bytes:t.cost.Cost.ack_msg_bytes (fun () ->
-                       let site = t.sites.(site_id) in
-                       on_site_free t site (fun () ->
-                           Site.undo_operation ~only_attempt:attempt site
-                             ~txn:st.txn.Txn.id ~op_index;
-                           charge t site t.cost.Cost.sched_ms;
-                           List.iter
-                             (fun (w : Site.waiter) ->
-                               Net.send t.net ~src:site_id
-                                 ~dst:w.Site.waiting_coordinator
-                                 ~bytes:t.cost.Cost.ack_msg_bytes (fun () ->
-                                   handle_wake t ~txn_id:w.Site.waiting_txn))
-                             (Site.take_waiters site ~blocker:st.txn.Txn.id))))
-                 st.sites_done
-             | None -> ());
-            enter_wait t st
-          end
-    end
-
-and enter_wait t (st : txn_state) =
-  if st.wake_pending then begin
-    (* The blocker already finished while we were deciding; retry now. *)
-    st.wake_pending <- false;
-    ignore
-      (Sim.schedule t.sim ~delay:(retry_delay t st) (fun () ->
-           coordinator_step t st))
-  end
-  else begin
-    st.txn.Txn.status <- Txn.Waiting;
-    st.txn.Txn.wait_started <- Sim.now t.sim
-  end
-
-and handle_wake t ~txn_id =
-  t.stats.wake_messages <- t.stats.wake_messages + 1;
-  match Hashtbl.find_opt t.txns txn_id with
-  | None -> ()
-  | Some st ->
-    if not st.finishing then begin
-      match st.txn.Txn.status with
-      | Txn.Waiting ->
-        st.txn.Txn.status <- Txn.Active;
-        st.txn.Txn.waited_total <-
-          st.txn.Txn.waited_total +. (Sim.now t.sim -. st.txn.Txn.wait_started);
-        ignore
-          (Sim.schedule t.sim ~delay:(retry_delay t st) (fun () ->
-               coordinator_step t st))
-      | Txn.Active -> st.wake_pending <- true
-      | Txn.Committed | Txn.Aborted | Txn.Failed -> ()
-    end
-
-(* ------------------------------------------------------------------ *)
-(* Commit / abort: Algorithms 5 and 6                                  *)
-(* ------------------------------------------------------------------ *)
-
-and involved_sites t (st : txn_state) =
-  (* Every site that may hold locks, wait edges or effects for this
-     transaction: the replica sites of every document it references, plus
-     the coordinator. *)
-  let doc_sites =
-    List.concat_map (Allocation.sites_of t.catalog) (Txn.docs st.txn)
-  in
-  List.sort_uniq compare (st.txn.Txn.coordinator :: doc_sites)
-
-and start_end_protocol t (st : txn_state) ~commit =
-  if (not st.finishing) && commit && t.config.commit = Two_phase
-     && not st.prepared
-  then start_prepare_phase t st
-  else if not st.finishing then begin
-    st.finishing <- true;
-    st.end_commit <- commit;
-    st.end_ack_failed <- false;
-    let sites_involved = involved_sites t st in
-    st.end_acks_pending <- List.length sites_involved;
-    Log.debug (fun m ->
-        m "t%d %s across [%s]" st.txn.Txn.id
-          (if commit then "commit" else "abort")
-          (String.concat ";" (List.map string_of_int sites_involved)));
-    if sites_involved = [] then finalize t st (if commit then Txn.Committed else Txn.Aborted)
-    else
-      List.iter
-        (fun dst ->
-          Net.send t.net ~src:st.txn.Txn.coordinator ~dst
-            ~bytes:t.cost.Cost.ack_msg_bytes (fun () ->
-              participant_end t ~site_id:dst ~txn_id:st.txn.Txn.id ~commit
-                ~coordinator:st.txn.Txn.coordinator))
-        sites_involved
-  end
-
-(* 2PC phase one: collect votes; every participant durably logs Prepared
-   before voting yes. *)
-and start_prepare_phase t (st : txn_state) =
-  st.finishing <- true;
-  let sites_involved = involved_sites t st in
-  st.end_acks_pending <- List.length sites_involved;
-  st.end_ack_failed <- false;
-  Log.debug (fun m ->
-      m "t%d prepare across [%s]" st.txn.Txn.id
-        (String.concat ";" (List.map string_of_int sites_involved)));
-  List.iter
-    (fun dst ->
-      Net.send t.net ~src:st.txn.Txn.coordinator ~dst
-        ~bytes:t.cost.Cost.ack_msg_bytes (fun () ->
-          participant_prepare t ~site_id:dst ~txn_id:st.txn.Txn.id
-            ~coordinator:st.txn.Txn.coordinator))
-    sites_involved
-
-and participant_prepare t ~site_id ~txn_id ~coordinator =
-  let site = t.sites.(site_id) in
-  if site_failed t site_id then
-    Net.send t.net ~src:site_id ~dst:coordinator ~bytes:t.cost.Cost.ack_msg_bytes
-      (fun () -> handle_vote t ~txn_id ~ok:false)
-  else
-    on_site_free t site (fun () ->
-        Wal.append site.Site.wal
-          (Wal.Prepared { txn = txn_id; time = Sim.now t.sim });
-        let work = t.cost.Cost.sched_ms in
-        charge t site work;
-        ignore
-          (Sim.schedule t.sim ~delay:work (fun () ->
-               Net.send t.net ~src:site_id ~dst:coordinator
-                 ~bytes:t.cost.Cost.ack_msg_bytes (fun () ->
-                   handle_vote t ~txn_id ~ok:true))))
-
-and handle_vote t ~txn_id ~ok =
-  match Hashtbl.find_opt t.txns txn_id with
-  | None -> ()
-  | Some st ->
-    if st.finishing && not st.prepared then begin
-      if not ok then st.end_ack_failed <- true;
-      st.end_acks_pending <- st.end_acks_pending - 1;
-      if st.end_acks_pending = 0 then
-        if st.end_ack_failed then begin
-          (* A participant voted no: abort (its Prepared record, if any,
-             resolves as presumed abort). *)
-          st.finishing <- false;
-          st.reason <- Reason_op_failure "prepare phase rejected";
-          start_end_protocol t st ~commit:false
-        end
-        else begin
-          st.prepared <- true;
-          st.finishing <- false;
-          start_end_protocol t st ~commit:true
-        end
-    end
-
-and participant_end t ~site_id ~txn_id ~commit ~coordinator =
-  let site = t.sites.(site_id) in
-  if site_failed t site_id then
-    (* "the message sent to the site is not served" (Alg. 5 l. 5 / 6 l. 5) *)
-    Net.send t.net ~src:site_id ~dst:coordinator ~bytes:t.cost.Cost.ack_msg_bytes
-      (fun () -> handle_end_ack t ~txn_id ~ok:false)
-  else
-    on_site_free t site (fun () ->
-        let touched = Site.txn_touched_total site ~txn:txn_id in
-        let waiters = Site.finish_txn site ~txn:txn_id ~commit in
-        (* The outcome record follows the DataManager write-back, so the
-           durable store and the log can never disagree (see Wal). *)
-        if t.config.commit = Two_phase then
-          Wal.append site.Site.wal
-            (if commit then Wal.Committed { txn = txn_id; time = Sim.now t.sim }
-             else Wal.Aborted { txn = txn_id; time = Sim.now t.sim });
-        let c = t.cost in
-        let work =
-          c.Cost.sched_ms
-          +.
-          if commit then float_of_int touched *. c.Cost.persist_node_ms
-          else float_of_int touched *. c.Cost.node_touch_ms
-        in
-        charge t site work;
-        (* Wake whoever was waiting for this transaction's locks here. *)
-        List.iter
-          (fun (w : Site.waiter) ->
-            Net.send t.net ~src:site_id ~dst:w.Site.waiting_coordinator
-              ~bytes:c.Cost.ack_msg_bytes (fun () ->
-                handle_wake t ~txn_id:w.Site.waiting_txn))
-          waiters;
-        ignore
-          (Sim.schedule t.sim ~delay:work (fun () ->
-               Net.send t.net ~src:site_id ~dst:coordinator
-                 ~bytes:c.Cost.ack_msg_bytes (fun () ->
-                   handle_end_ack t ~txn_id ~ok:true))))
-
-and handle_end_ack t ~txn_id ~ok =
-  match Hashtbl.find_opt t.txns txn_id with
-  | None -> ()
-  | Some st ->
-    if st.finishing then begin
-      if not ok then st.end_ack_failed <- true;
-      st.end_acks_pending <- st.end_acks_pending - 1;
-      if st.end_acks_pending = 0 then
-        if st.end_commit then begin
-          if st.end_ack_failed then begin
-            (* Commit could not complete at some site: abort (Alg. 5 l. 6). *)
-            st.finishing <- false;
-            st.reason <- Reason_op_failure "commit rejected at a site";
-            start_end_protocol t st ~commit:false
-          end
-          else finalize t st Txn.Committed
-        end
-        else if st.end_ack_failed then begin
-          (* Abort could not complete: tell everyone to fail the transaction
-             (Alg. 6 l. 6-9). *)
-          List.iter
-            (fun dst ->
-              if not (site_failed t dst) then
-                Net.send t.net ~src:st.txn.Txn.coordinator ~dst
-                  ~bytes:t.cost.Cost.ack_msg_bytes (fun () ->
-                    let site = t.sites.(dst) in
-                    ignore (Site.finish_txn site ~txn:txn_id ~commit:false)))
-            (involved_sites t st);
-          finalize t st Txn.Failed
-        end
-        else finalize t st Txn.Aborted
-    end
-
-and finalize t (st : txn_state) status =
-  (match (status, st.reason) with
-   | Txn.Aborted, Reason_op_failure msg ->
-     Log.debug (fun m -> m "t%d aborted: %s" st.txn.Txn.id msg)
-   | _ -> ());
-  st.txn.Txn.status <- status;
-  st.txn.Txn.finished_at <- Sim.now t.sim;
-  t.stats.last_finish <- Sim.now t.sim;
-  Hashtbl.remove t.txns st.txn.Txn.id;
-  t.active <- t.active - 1;
-  sample_concurrency t;
-  (match (status, t.history) with
-   | Txn.Committed, Some h ->
-     History.note_commit h ~txn:st.txn.Txn.id ~time:(Sim.now t.sim)
-   | (Txn.Aborted | Txn.Failed), Some h -> History.note_abort h ~txn:st.txn.Txn.id
-   | _ -> ());
-  (match status with
-   | Txn.Committed ->
-     t.stats.committed <- t.stats.committed + 1;
-     Vec.push t.stats.response_times (Txn.response_time st.txn);
-     Vec.push t.stats.commit_stamps st.txn.Txn.finished_at
-   | Txn.Aborted ->
-     t.stats.aborted <- t.stats.aborted + 1;
-     if st.reason = Reason_deadlock then
-       t.stats.deadlock_aborts <- t.stats.deadlock_aborts + 1
-   | Txn.Failed -> t.stats.failed <- t.stats.failed + 1
-   | Txn.Active | Txn.Waiting -> assert false);
-  st.on_finish st.txn
-
 (* ------------------------------------------------------------------ *)
 (* Distributed deadlock detection: Algorithm 4                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Site 0 plays the paper's detector: it polls each live site for its
+   wait-for graph (one Wfg_request at a time), merges the replies, and on
+   the first cycle notifies the victim's coordinator with a Victim
+   message — "the most recent transaction involved in the circle is
+   aborted" (ids grow monotonically with start time). *)
+
+let detector_site = 0
+
+let rec detector_request t i =
+  if i >= t.n_sites then t.detector_busy <- false
+  else if site_failed t i then (* unreachable: treat as an empty graph *)
+    detector_request t (i + 1)
+  else Net.dispatch t.net ~src:detector_site ~dst:i Msg.Wfg_request
+
+let detector_reply t ~src edges =
+  if t.detector_busy then begin
+    List.iter
+      (fun (w, h) -> Wfg.add_wait t.detector_merged ~waiter:w ~holders:[ h ])
+      edges;
+    match Wfg.find_cycle t.detector_merged with
+    | None -> detector_request t (src + 1)
+    | Some cycle -> (
+      t.detector_busy <- false;
+      let victim = List.fold_left max min_int cycle in
+      match Coordinator.home_of t.coord ~txn:victim with
+      | Some coordinator ->
+        Net.dispatch t.net ~src:detector_site ~dst:coordinator
+          (Msg.Victim { txn = victim })
+      | None -> ())
+  end
+
 let detect_deadlocks t =
   if not t.detector_busy then begin
     t.detector_busy <- true;
-    let detector_site = 0 in
-    let merged = ref (Wfg.create ()) in
-    let c = t.cost in
-    let rec visit i =
-      if i >= t.n_sites then t.detector_busy <- false
-      else if site_failed t i then (* unreachable: treat as an empty graph *)
-        visit (i + 1)
-      else
-        (* Request site i's wait-for graph, merge, check for a cycle. *)
-        Net.send t.net ~src:detector_site ~dst:i ~bytes:c.Cost.ack_msg_bytes
-          (fun () ->
-            let snap = Site.wfg_snapshot t.sites.(i) in
-            let bytes = c.Cost.ack_msg_bytes + (16 * Wfg.size snap) in
-            Net.send t.net ~src:i ~dst:detector_site ~bytes (fun () ->
-                merged := Wfg.union [ !merged; snap ];
-                match Wfg.find_cycle !merged with
-                | None -> visit (i + 1)
-                | Some cycle -> (
-                  t.detector_busy <- false;
-                  (* "the most recent transaction involved in the circle is
-                     aborted" — ids grow monotonically with start time. *)
-                  let victim = List.fold_left max min_int cycle in
-                  match Hashtbl.find_opt t.txns victim with
-                  | Some st when not st.finishing ->
-                    t.stats.distributed_deadlocks <-
-                      t.stats.distributed_deadlocks + 1;
-                    Log.debug (fun m ->
-                        m "distributed deadlock: cycle [%s], aborting t%d"
-                          (String.concat ";" (List.map string_of_int cycle))
-                          victim);
-                    st.reason <- Reason_deadlock;
-                    Net.send t.net ~src:detector_site
-                      ~dst:st.txn.Txn.coordinator ~bytes:c.Cost.ack_msg_bytes
-                      (fun () -> start_end_protocol t st ~commit:false)
-                  | _ -> ())))
-    in
-    visit 0
+    t.detector_merged <- Wfg.create ();
+    detector_request t 0
   end
+
+(* ------------------------------------------------------------------ *)
+(* The Listener: route delivered messages by type                      *)
+(* ------------------------------------------------------------------ *)
+
+let route t ~src ~dst (msg : Msg.t) =
+  match msg with
+  | Msg.Op_ship _ | Msg.Op_undo _ | Msg.Prepare _ | Msg.Commit _
+  | Msg.Abort _ | Msg.Wfg_request ->
+    Participant.handle t.participants.(dst) ~src msg
+  | Msg.Wfg_reply { edges } -> detector_reply t ~src edges
+  | Msg.Op_status _ | Msg.Vote _ | Msg.End_ack _ | Msg.Wake _ | Msg.Wound _
+  | Msg.Victim _ ->
+    Coordinator.dispatch t.coord ~src msg
 
 (* ------------------------------------------------------------------ *)
 (* Assembly                                                            *)
@@ -675,26 +171,46 @@ let create ~sim ~net ~n_sites config ~placements =
     Site.create ~id:i ~protocol_kind:config.protocol
       ~deadlock_policy:config.deadlock_policy ~storage ~docs:(site_docs i) ()
   in
+  let sites = Array.init n_sites make_site in
+  let catalog = Allocation.catalog placements in
+  let failed_sites = Hashtbl.create 4 in
+  let coord =
+    Coordinator.create ~sim ~net ~cost:config.cost ~catalog
+      ~commit:config.commit ~op_timeout_ms:config.op_timeout_ms
+      ~site_failed:(fun s -> Hashtbl.mem failed_sites s)
+      ~n_sites ()
+  in
+  let participants =
+    Array.map
+      (fun (site : Site.t) ->
+        { Participant.sim;
+          net;
+          cost = config.cost;
+          site;
+          two_phase = config.commit = Two_phase;
+          site_failed = (fun () -> Hashtbl.mem failed_sites site.Site.id);
+          txn_live = (fun ~txn ~attempt -> Coordinator.txn_live coord ~txn ~attempt) })
+      sites
+  in
   let t =
     { sim;
       net;
-      cost = config.cost;
       config;
       n_sites;
-      sites = Array.init n_sites make_site;
-      catalog = Allocation.catalog placements;
-      txns = Hashtbl.create 128;
-      next_txn_id = 1;
-      stats = fresh_stats ();
+      sites;
+      catalog;
+      coord;
+      participants;
+      failed_sites;
       shutdown_requested = false;
       detector_busy = false;
-      active = 0;
-      failed_sites = Hashtbl.create 4;
+      detector_merged = Wfg.create ();
       history = None }
   in
+  Net.set_handler net (fun ~src ~dst msg -> route t ~src ~dst msg);
   Sim.every sim ~period:config.deadlock_period_ms (fun () ->
-      if t.active > 0 then detect_deadlocks t;
-      not (t.shutdown_requested && t.active = 0));
+      if Coordinator.active coord > 0 then detect_deadlocks t;
+      not (t.shutdown_requested && Coordinator.active coord = 0));
   t
 
 let shutdown_when_idle t = t.shutdown_requested <- true
@@ -705,6 +221,7 @@ let enable_history t =
   | None ->
     let h = History.create () in
     t.history <- Some h;
+    Coordinator.set_history t.coord h;
     Array.iter
       (fun (site : Site.t) ->
         site.Site.access_sink <-
@@ -728,22 +245,4 @@ let check_serializable t =
 let submit t ~client ~coordinator ~ops ~on_finish =
   if coordinator < 0 || coordinator >= t.n_sites then
     invalid_arg "Cluster.submit: bad coordinator site";
-  let id = t.next_txn_id in
-  t.next_txn_id <- id + 1;
-  let txn = Txn.create ~id ~client ~coordinator ops in
-  txn.Txn.submitted_at <- Sim.now t.sim;
-  let st =
-    { txn; on_finish; attempt = 0; sites_left = []; sites_done = []
-    ; awaiting_site = None; wake_pending = false; finishing = false
-    ; prepared = false
-    ; end_commit = false; end_acks_pending = 0; end_ack_failed = false
-    ; reason = Reason_normal }
-  in
-  Hashtbl.replace t.txns id st;
-  t.stats.submitted <- t.stats.submitted + 1;
-  t.active <- t.active + 1;
-  sample_concurrency t;
-  ignore
-    (Sim.schedule t.sim ~delay:t.cost.Cost.sched_ms (fun () ->
-         coordinator_step t st));
-  txn
+  Coordinator.submit t.coord ~client ~coordinator ~ops ~on_finish

@@ -25,7 +25,7 @@
     commits, those that entered wait mode waiting for the locks of the one
     that committed, start executing again" (§2.2). *)
 
-type commit_protocol =
+type commit_protocol = Coordinator.commit_protocol =
   | One_phase
       (** the paper's DTX: the coordinator sends consolidation messages and
           every site applies them (Alg. 5) — atomicity is future work *)
@@ -60,7 +60,7 @@ val default_config : ?protocol:Dtx_protocol.Protocol.kind -> unit -> config
     commit (the paper's behaviour). *)
 
 (** Cluster-wide counters and series for the experiment harness. *)
-type stats = {
+type stats = Coordinator.stats = {
   mutable submitted : int;
   mutable committed : int;
   mutable aborted : int;

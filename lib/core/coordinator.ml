@@ -1,0 +1,508 @@
+module Sim = Dtx_sim.Sim
+module Net = Dtx_net.Net
+module Msg = Dtx_net.Msg
+module Txn = Dtx_txn.Txn
+module Allocation = Dtx_frag.Allocation
+module Vec = Dtx_util.Vec
+
+let src = Logs.Src.create "dtx.coordinator" ~doc:"DTX coordinator events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type commit_protocol = One_phase | Two_phase
+
+type stats = {
+  mutable submitted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable failed : int;
+  mutable deadlock_aborts : int;
+  mutable distributed_deadlocks : int;
+  mutable local_deadlocks : int;
+  mutable op_undos : int;
+  mutable wake_messages : int;
+  mutable wounded : int;
+  mutable last_finish : float;
+  response_times : float Vec.t;
+  commit_stamps : float Vec.t;
+  concurrency_samples : (float * int) Vec.t;
+}
+
+let fresh_stats () =
+  { submitted = 0; committed = 0; aborted = 0; failed = 0; deadlock_aborts = 0;
+    distributed_deadlocks = 0; local_deadlocks = 0; op_undos = 0;
+    wake_messages = 0; wounded = 0; last_finish = 0.0;
+    response_times = Vec.create ();
+    commit_stamps = Vec.create (); concurrency_samples = Vec.create () }
+
+(* Why a transaction ended the way it did (drives the deadlock counters). *)
+type end_reason = Reason_normal | Reason_deadlock | Reason_op_failure of string
+
+type phase =
+  | Executing  (** picking / scheduling the next shipment *)
+  | Awaiting_replies  (** a shipment is in flight to [awaiting_site] *)
+  | Waiting  (** blocked; resumes on [Wake] *)
+  | Preparing  (** 2PC vote round outstanding *)
+  | Ending  (** commit/abort fan-out outstanding *)
+  | Done
+
+type txn_state = {
+  txn : Txn.t;
+  on_finish : Txn.t -> unit;
+  mutable phase : phase;
+  mutable attempt : int;  (** shipment-round counter (tags effects/undos) *)
+  mutable batch : Txn.op_record list;  (** operations in the current shipment *)
+  mutable sites_left : int list;  (** participants still to visit, ascending *)
+  mutable sites_done : int list;  (** participants that executed this attempt *)
+  mutable awaiting_site : int option;
+      (** participant whose status reply is outstanding (timeout guard) *)
+  mutable wake_pending : bool;
+      (** a wake arrived while this attempt was in flight; retry instead of
+          sleeping (prevents the lost-wakeup race) *)
+  mutable prepared : bool;  (** 2PC: the vote round completed successfully *)
+  mutable end_commit : bool;  (** the in-flight end protocol is a commit *)
+  mutable end_acks_pending : int;
+  mutable end_ack_failed : bool;
+  mutable reason : end_reason;
+}
+
+let finishing st =
+  match st.phase with
+  | Preparing | Ending | Done -> true
+  | Executing | Awaiting_replies | Waiting -> false
+
+type t = {
+  sim : Sim.t;
+  net : Net.t;
+  cost : Cost.t;
+  catalog : Allocation.catalog;
+  commit : commit_protocol;
+  op_timeout_ms : float option;
+  site_failed : int -> bool;
+  n_sites : int;
+  txns : (int, txn_state) Hashtbl.t;
+  mutable next_txn_id : int;
+  stats : stats;
+  mutable active : int;
+  mutable history : History.t option;
+}
+
+let create ~sim ~net ~cost ~catalog ~commit ~op_timeout_ms ~site_failed
+    ~n_sites () =
+  { sim; net; cost; catalog; commit; op_timeout_ms; site_failed; n_sites;
+    txns = Hashtbl.create 128;
+    next_txn_id = 1;
+    stats = fresh_stats ();
+    active = 0;
+    history = None }
+
+let stats t = t.stats
+
+let active t = t.active
+
+let txn_status t id =
+  match Hashtbl.find_opt t.txns id with
+  | Some st -> Some st.txn.Txn.status
+  | None -> None
+
+let txn_live t ~txn ~attempt =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> (not (finishing st)) && st.attempt = attempt
+  | None -> false
+
+let home_of t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st when not (finishing st) -> Some st.txn.Txn.coordinator
+  | _ -> None
+
+let set_history t h = t.history <- Some h
+
+let sample_concurrency t =
+  Vec.push t.stats.concurrency_samples (Sim.now t.sim, t.active)
+
+(* Retry delay after a wake: a deterministic, per-transaction stagger.
+   Without it, two transactions blocked on each other's undone operations
+   wake simultaneously, collide again, undo again — a livelock the periodic
+   detector would eventually resolve by aborting one of them. Staggering by
+   id and attempt lets the earlier transaction win the race instead. *)
+let retry_delay t (st : txn_state) =
+  t.cost.Cost.sched_ms
+  +. (0.3 *. float_of_int (st.txn.Txn.id mod 8))
+  +. (0.2 *. float_of_int (min st.attempt 20))
+
+let singleton_site t doc =
+  match Allocation.sites_of t.catalog doc with
+  | [ s ] -> Some s
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1: ship operations, site by site                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec coordinator_step t (st : txn_state) =
+  if st.phase = Executing && st.txn.Txn.status = Txn.Active then begin
+    match Txn.next_operation st.txn with
+    | None -> start_end_protocol t st ~commit:true
+    | Some op_rec -> (
+      let doc = op_rec.Txn.doc in
+      match Allocation.sites_of t.catalog doc with
+      | [] ->
+        st.reason <- Reason_op_failure (Printf.sprintf "no site holds %s" doc);
+        start_end_protocol t st ~commit:false
+      | op_sites ->
+        (* Visit participants one at a time, in ascending site order (a
+           global acquisition order: two operations contending for the same
+           replicas meet at the same first site, so one queues there holding
+           nothing — no cross-site livelock between single operations). *)
+        let batch =
+          match op_sites with
+          | [ s ] ->
+            (* Batch the maximal run of follow-on operations bound for the
+               same single site into this shipment: one message round-trip
+               executes them all, and a block inside the batch leaves
+               nothing to undo elsewhere (no other site was visited). *)
+            let ops = st.txn.Txn.ops in
+            let n = Array.length ops in
+            let rec collect i acc =
+              if i >= n then List.rev acc
+              else if singleton_site t ops.(i).Txn.doc = Some s then
+                collect (i + 1) (ops.(i) :: acc)
+              else List.rev acc
+            in
+            collect (op_rec.Txn.op_index + 1) [ op_rec ]
+          | _ -> [ op_rec ]
+        in
+        st.attempt <- st.attempt + 1;
+        st.batch <- batch;
+        st.sites_left <- List.sort compare op_sites;
+        st.sites_done <- [];
+        Log.debug (fun m ->
+            m "t%d op%d (batch %d) attempt %d -> sites [%s]" st.txn.Txn.id
+              op_rec.Txn.op_index (List.length batch) st.attempt
+              (String.concat ";" (List.map string_of_int op_sites)));
+        visit_next_site t st)
+  end
+
+and visit_next_site t (st : txn_state) =
+  match st.sites_left with
+  | [] ->
+    (* Executed at every participant: the shipment is done (Alg. 1). *)
+    List.iter
+      (fun (r : Txn.op_record) ->
+        r.Txn.executed_sites <- st.sites_done;
+        Txn.advance st.txn)
+      st.batch;
+    st.phase <- Executing;
+    ignore
+      (Sim.schedule t.sim ~delay:t.cost.Cost.sched_ms (fun () ->
+           coordinator_step t st))
+  | dst :: rest ->
+    st.sites_left <- rest;
+    st.awaiting_site <- Some dst;
+    st.phase <- Awaiting_replies;
+    let attempt = st.attempt in
+    let shipments =
+      List.map
+        (fun (r : Txn.op_record) ->
+          { Msg.s_index = r.Txn.op_index; s_doc = r.Txn.doc; s_op = r.Txn.op })
+        st.batch
+    in
+    Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst ~reliable:false
+      (Msg.Op_ship { txn = st.txn.Txn.id; attempt; ops = shipments });
+    (match t.op_timeout_ms with
+     | None -> ()
+     | Some timeout ->
+       ignore
+         (Sim.schedule t.sim ~delay:timeout (fun () ->
+              if
+                st.attempt = attempt
+                && st.phase = Awaiting_replies
+                && st.awaiting_site = Some dst
+                && st.txn.Txn.status = Txn.Active
+                && Hashtbl.mem t.txns st.txn.Txn.id
+              then begin
+                Log.debug (fun m ->
+                    m "t%d op timeout at site %d" st.txn.Txn.id dst);
+                st.reason <-
+                  Reason_op_failure
+                    (Printf.sprintf "operation timed out at site %d" dst);
+                start_end_protocol t st ~commit:false
+              end)))
+
+and handle_op_status t ~src ~txn ~attempt ~granted status =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> ()
+  | Some st ->
+    if st.attempt = attempt && st.phase = Awaiting_replies then begin
+      st.awaiting_site <- None;
+      match (status : Msg.op_status) with
+      | Msg.Deadlock ->
+        t.stats.local_deadlocks <- t.stats.local_deadlocks + 1;
+        st.reason <- Reason_deadlock;
+        start_end_protocol t st ~commit:false
+      | Msg.Failed msg ->
+        st.reason <- Reason_op_failure msg;
+        start_end_protocol t st ~commit:false
+      | Msg.Granted ->
+        st.sites_done <- src :: st.sites_done;
+        visit_next_site t st
+      | Msg.Blocked ->
+        (* A granted prefix of the batch completed at its (only) site;
+           advance past it so only the blocked operation retries. *)
+        let rec advance_prefix k batch =
+          if k = 0 then batch
+          else
+            match batch with
+            | (r : Txn.op_record) :: rest ->
+              r.Txn.executed_sites <- [ src ];
+              Txn.advance st.txn;
+              advance_prefix (k - 1) rest
+            | [] -> []
+        in
+        st.batch <- advance_prefix granted st.batch;
+        (* Blocked at this participant: undo where the operation already
+           ran (Alg. 1 l. 15-17) — the undo's released locks may wake other
+           transactions at those sites — then wait. *)
+        (match Txn.next_operation st.txn with
+         | Some op_rec ->
+           let op_index = op_rec.Txn.op_index in
+           let attempt = st.attempt in
+           if st.sites_done <> [] then
+             t.stats.op_undos <- t.stats.op_undos + List.length st.sites_done;
+           List.iter
+             (fun site_id ->
+               Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst:site_id
+                 (Msg.Op_undo { txn = st.txn.Txn.id; op_index; attempt }))
+             st.sites_done
+         | None -> ());
+        enter_wait t st
+    end
+
+and enter_wait t (st : txn_state) =
+  if st.wake_pending then begin
+    (* The blocker already finished while we were deciding; retry now. *)
+    st.wake_pending <- false;
+    st.phase <- Executing;
+    ignore
+      (Sim.schedule t.sim ~delay:(retry_delay t st) (fun () ->
+           coordinator_step t st))
+  end
+  else begin
+    st.phase <- Waiting;
+    st.txn.Txn.status <- Txn.Waiting;
+    st.txn.Txn.wait_started <- Sim.now t.sim
+  end
+
+and handle_wake t ~txn =
+  t.stats.wake_messages <- t.stats.wake_messages + 1;
+  match Hashtbl.find_opt t.txns txn with
+  | None -> ()
+  | Some st -> (
+    match st.phase with
+    | Waiting ->
+      st.phase <- Executing;
+      st.txn.Txn.status <- Txn.Active;
+      st.txn.Txn.waited_total <-
+        st.txn.Txn.waited_total +. (Sim.now t.sim -. st.txn.Txn.wait_started);
+      ignore
+        (Sim.schedule t.sim ~delay:(retry_delay t st) (fun () ->
+             coordinator_step t st))
+    | Executing | Awaiting_replies -> st.wake_pending <- true
+    | Preparing | Ending | Done -> ())
+
+(* Wound-wait: an older requester needs this transaction's locks. *)
+and handle_wound t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> ()
+  | Some st ->
+    if not (finishing st) then begin
+      t.stats.wounded <- t.stats.wounded + 1;
+      st.reason <- Reason_deadlock;
+      start_end_protocol t st ~commit:false
+    end
+
+(* Alg. 4 l. 7: the detector chose this transaction as a cycle's victim. *)
+and handle_victim t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> ()
+  | Some st ->
+    if not (finishing st) then begin
+      t.stats.distributed_deadlocks <- t.stats.distributed_deadlocks + 1;
+      Log.debug (fun m -> m "distributed deadlock: aborting t%d" txn);
+      st.reason <- Reason_deadlock;
+      start_end_protocol t st ~commit:false
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Commit / abort: Algorithms 5 and 6                                  *)
+(* ------------------------------------------------------------------ *)
+
+and involved_sites t (st : txn_state) =
+  (* Every site that may hold locks, wait edges or effects for this
+     transaction: the replica sites of every document it references, plus
+     the coordinator. *)
+  let doc_sites =
+    List.concat_map (Allocation.sites_of t.catalog) (Txn.docs st.txn)
+  in
+  List.sort_uniq compare (st.txn.Txn.coordinator :: doc_sites)
+
+and start_end_protocol t (st : txn_state) ~commit =
+  if not (finishing st) then begin
+    if commit && t.commit = Two_phase && not st.prepared then
+      start_prepare_phase t st
+    else begin_ending t st ~commit
+  end
+
+and begin_ending t (st : txn_state) ~commit =
+  st.phase <- Ending;
+  st.end_commit <- commit;
+  st.end_ack_failed <- false;
+  let sites_involved = involved_sites t st in
+  st.end_acks_pending <- List.length sites_involved;
+  Log.debug (fun m ->
+      m "t%d %s across [%s]" st.txn.Txn.id
+        (if commit then "commit" else "abort")
+        (String.concat ";" (List.map string_of_int sites_involved)));
+  if sites_involved = [] then
+    finalize t st (if commit then Txn.Committed else Txn.Aborted)
+  else
+    List.iter
+      (fun dst ->
+        Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst
+          (if commit then Msg.Commit { txn = st.txn.Txn.id }
+           else Msg.Abort { txn = st.txn.Txn.id; quiet = false }))
+      sites_involved
+
+(* 2PC phase one: collect votes; every participant durably logs Prepared
+   before voting yes. *)
+and start_prepare_phase t (st : txn_state) =
+  st.phase <- Preparing;
+  let sites_involved = involved_sites t st in
+  st.end_acks_pending <- List.length sites_involved;
+  st.end_ack_failed <- false;
+  Log.debug (fun m ->
+      m "t%d prepare across [%s]" st.txn.Txn.id
+        (String.concat ";" (List.map string_of_int sites_involved)));
+  List.iter
+    (fun dst ->
+      Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst
+        (Msg.Prepare { txn = st.txn.Txn.id }))
+    sites_involved
+
+and handle_vote t ~txn ~ok =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> ()
+  | Some st ->
+    if st.phase = Preparing then begin
+      if not ok then st.end_ack_failed <- true;
+      st.end_acks_pending <- st.end_acks_pending - 1;
+      if st.end_acks_pending = 0 then
+        if st.end_ack_failed then begin
+          (* A participant voted no: abort (its Prepared record, if any,
+             resolves as presumed abort). *)
+          st.reason <- Reason_op_failure "prepare phase rejected";
+          begin_ending t st ~commit:false
+        end
+        else begin
+          st.prepared <- true;
+          begin_ending t st ~commit:true
+        end
+    end
+
+and handle_end_ack t ~txn ~ok =
+  match Hashtbl.find_opt t.txns txn with
+  | None -> ()
+  | Some st ->
+    if st.phase = Ending then begin
+      if not ok then st.end_ack_failed <- true;
+      st.end_acks_pending <- st.end_acks_pending - 1;
+      if st.end_acks_pending = 0 then
+        if st.end_commit then begin
+          if st.end_ack_failed then begin
+            (* Commit could not complete at some site: abort (Alg. 5 l. 6). *)
+            st.reason <- Reason_op_failure "commit rejected at a site";
+            begin_ending t st ~commit:false
+          end
+          else finalize t st Txn.Committed
+        end
+        else if st.end_ack_failed then begin
+          (* Abort could not complete: tell everyone to fail the transaction
+             (Alg. 6 l. 6-9). *)
+          List.iter
+            (fun dst ->
+              if not (t.site_failed dst) then
+                Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst
+                  (Msg.Abort { txn = st.txn.Txn.id; quiet = true }))
+            (involved_sites t st);
+          finalize t st Txn.Failed
+        end
+        else finalize t st Txn.Aborted
+    end
+
+and finalize t (st : txn_state) status =
+  (match (status, st.reason) with
+   | Txn.Aborted, Reason_op_failure msg ->
+     Log.debug (fun m -> m "t%d aborted: %s" st.txn.Txn.id msg)
+   | _ -> ());
+  st.phase <- Done;
+  st.txn.Txn.status <- status;
+  st.txn.Txn.finished_at <- Sim.now t.sim;
+  t.stats.last_finish <- Sim.now t.sim;
+  Hashtbl.remove t.txns st.txn.Txn.id;
+  t.active <- t.active - 1;
+  sample_concurrency t;
+  (match (status, t.history) with
+   | Txn.Committed, Some h ->
+     History.note_commit h ~txn:st.txn.Txn.id ~time:(Sim.now t.sim)
+   | (Txn.Aborted | Txn.Failed), Some h -> History.note_abort h ~txn:st.txn.Txn.id
+   | _ -> ());
+  (match status with
+   | Txn.Committed ->
+     t.stats.committed <- t.stats.committed + 1;
+     Vec.push t.stats.response_times (Txn.response_time st.txn);
+     Vec.push t.stats.commit_stamps st.txn.Txn.finished_at
+   | Txn.Aborted ->
+     t.stats.aborted <- t.stats.aborted + 1;
+     if st.reason = Reason_deadlock then
+       t.stats.deadlock_aborts <- t.stats.deadlock_aborts + 1
+   | Txn.Failed -> t.stats.failed <- t.stats.failed + 1
+   | Txn.Active | Txn.Waiting -> assert false);
+  st.on_finish st.txn
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch t ~src (msg : Msg.t) =
+  match msg with
+  | Msg.Op_status { txn; attempt; granted; status; _ } ->
+    handle_op_status t ~src ~txn ~attempt ~granted status
+  | Msg.Vote { txn; ok } -> handle_vote t ~txn ~ok
+  | Msg.End_ack { txn; ok } -> handle_end_ack t ~txn ~ok
+  | Msg.Wake { txn } -> handle_wake t ~txn
+  | Msg.Wound { txn } -> handle_wound t ~txn
+  | Msg.Victim { txn } -> handle_victim t ~txn
+  | Msg.Op_ship _ | Msg.Op_undo _ | Msg.Prepare _ | Msg.Commit _
+  | Msg.Abort _ | Msg.Wfg_request | Msg.Wfg_reply _ ->
+    (* participant-bound: not ours *)
+    ()
+
+let submit t ~client ~coordinator ~ops ~on_finish =
+  let id = t.next_txn_id in
+  t.next_txn_id <- id + 1;
+  let txn = Txn.create ~id ~client ~coordinator ops in
+  txn.Txn.submitted_at <- Sim.now t.sim;
+  let st =
+    { txn; on_finish; phase = Executing; attempt = 0; batch = [];
+      sites_left = []; sites_done = []; awaiting_site = None;
+      wake_pending = false; prepared = false; end_commit = false;
+      end_acks_pending = 0; end_ack_failed = false; reason = Reason_normal }
+  in
+  Hashtbl.replace t.txns id st;
+  t.stats.submitted <- t.stats.submitted + 1;
+  t.active <- t.active + 1;
+  sample_concurrency t;
+  ignore
+    (Sim.schedule t.sim ~delay:t.cost.Cost.sched_ms (fun () ->
+         coordinator_step t st));
+  txn

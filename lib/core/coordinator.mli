@@ -1,0 +1,88 @@
+(** The coordinator side of the paper's Scheduler: Algorithm 1 as an
+    explicit per-transaction state machine.
+
+    Each transaction moves through the phases
+
+    {v Executing -> Awaiting_replies -> (Waiting ->) ... -> Preparing?
+       -> Ending -> Done v}
+
+    - {e Executing}: picking the next operation (or batch) to ship;
+    - {e Awaiting_replies}: one shipment is in flight to one participant
+      (participants are visited one at a time, in ascending site order —
+      a global acquisition order that prevents cross-site livelock);
+    - {e Waiting}: blocked on a lock conflict, waiting for a [Wake];
+    - {e Preparing}: the 2PC vote round (future-work extension);
+    - {e Ending}: commit/abort fan-out outstanding (Algs. 5/6);
+    - {e Done}: finalized, removed from the table.
+
+    Consecutive operations bound for the same single site are batched into
+    one [Op_ship] (one message round-trip instead of one per operation);
+    multi-site operations still traverse their replica sites one by one.
+
+    All incoming coordinator-bound messages ([Op_status], [Vote],
+    [End_ack], [Wake], [Wound], [Victim]) enter through {!dispatch}. *)
+
+type commit_protocol = One_phase | Two_phase
+
+(** Cluster-wide counters and series for the experiment harness
+    (re-exported as [Cluster.stats]). *)
+type stats = {
+  mutable submitted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable failed : int;
+  mutable deadlock_aborts : int;
+  mutable distributed_deadlocks : int;
+  mutable local_deadlocks : int;
+  mutable op_undos : int;
+  mutable wake_messages : int;
+  mutable wounded : int;
+  mutable last_finish : float;
+  response_times : float Dtx_util.Vec.t;
+  commit_stamps : float Dtx_util.Vec.t;
+  concurrency_samples : (float * int) Dtx_util.Vec.t;
+}
+
+type t
+
+val create :
+  sim:Dtx_sim.Sim.t ->
+  net:Dtx_net.Net.t ->
+  cost:Cost.t ->
+  catalog:Dtx_frag.Allocation.catalog ->
+  commit:commit_protocol ->
+  op_timeout_ms:float option ->
+  site_failed:(int -> bool) ->
+  n_sites:int ->
+  unit ->
+  t
+
+val submit :
+  t ->
+  client:int ->
+  coordinator:int ->
+  ops:(string * Dtx_update.Op.t) list ->
+  on_finish:(Dtx_txn.Txn.t -> unit) ->
+  Dtx_txn.Txn.t
+
+val dispatch : t -> src:int -> Dtx_net.Msg.t -> unit
+(** Single entry point for coordinator-bound messages; participant-bound
+    kinds are ignored. *)
+
+val stats : t -> stats
+
+val active : t -> int
+(** Transactions not yet finalized. *)
+
+val txn_status : t -> int -> Dtx_txn.Txn.status option
+
+val txn_live : t -> txn:int -> attempt:int -> bool
+(** Participant liveness peek: [txn] exists, is not yet committing or
+    aborting, and [attempt] is its current shipment round. *)
+
+val home_of : t -> txn:int -> int option
+(** The coordinator site of a live transaction (where the detector
+    addresses its [Victim] notification). *)
+
+val set_history : t -> History.t -> unit
+(** Record commit/abort events into [h] at finalization. *)

@@ -3,8 +3,6 @@ type t = {
   node_touch_ms : float;
   sched_ms : float;
   persist_node_ms : float;
-  op_msg_bytes : int;
-  ack_msg_bytes : int;
   result_bytes_per_node : int;
 }
 
@@ -13,8 +11,6 @@ let default =
     node_touch_ms = 0.002;
     sched_ms = 0.05;
     persist_node_ms = 0.001;
-    op_msg_bytes = 512;
-    ack_msg_bytes = 128;
     result_bytes_per_node = 64 }
 
 let scaled ?(factor = 1.0) t =

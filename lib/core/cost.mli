@@ -16,9 +16,9 @@ type t = {
   sched_ms : float;  (** fixed Scheduler overhead per operation dispatch *)
   persist_node_ms : float;
       (** DataManager write-back per touched node at commit *)
-  op_msg_bytes : int;  (** base size of a remote-operation message *)
-  ack_msg_bytes : int;  (** size of status/commit/abort/ack messages *)
-  result_bytes_per_node : int;  (** per query-result node shipped back *)
+  result_bytes_per_node : int;
+      (** per query-result node shipped back in a status reply (message
+          envelopes themselves are sized by {!Dtx_net.Msg.size}) *)
 }
 
 val default : t

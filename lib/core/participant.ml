@@ -1,0 +1,179 @@
+module Sim = Dtx_sim.Sim
+module Net = Dtx_net.Net
+module Msg = Dtx_net.Msg
+
+type ctx = {
+  sim : Sim.t;
+  net : Net.t;
+  cost : Cost.t;
+  site : Site.t;
+  two_phase : bool;
+  site_failed : unit -> bool;
+  txn_live : txn:int -> attempt:int -> bool;
+}
+
+(* Serialize heavy work on the site's scheduler: run [k] once the site is
+   free; [k] must set [busy_until] itself (via [charge]). *)
+let rec on_site_free ctx k =
+  let now = Sim.now ctx.sim in
+  if now >= ctx.site.Site.busy_until then k ()
+  else
+    ignore
+      (Sim.schedule_at ctx.sim ~time:ctx.site.Site.busy_until (fun () ->
+           on_site_free ctx k))
+
+let charge ctx cost = ctx.site.Site.busy_until <- Sim.now ctx.sim +. cost
+
+let reply ctx ~dst ?reliable msg = Net.dispatch ctx.net ~src:ctx.site.Site.id ~dst ?reliable msg
+
+let wake_waiters ctx waiters =
+  List.iter
+    (fun (w : Site.waiter) ->
+      reply ctx ~dst:w.Site.waiting_coordinator
+        (Msg.Wake { txn = w.Site.waiting_txn }))
+    waiters
+
+(* Algorithm 2: run a shipment of operations through the local LockManager
+   and report how far it got. *)
+let handle_op_ship ctx ~src ~txn ~attempt ops =
+  let status ~granted ~result_nodes st =
+    Msg.Op_status
+      { txn; attempt; granted; status = st;
+        result_bytes = result_nodes * ctx.cost.Cost.result_bytes_per_node }
+  in
+  if ctx.site_failed () then
+    reply ctx ~dst:src ~reliable:false
+      (status ~granted:0 ~result_nodes:0 (Msg.Failed "site unavailable"))
+  else
+    on_site_free ctx (fun () ->
+        if not (ctx.txn_live ~txn ~attempt) then
+          reply ctx ~dst:src ~reliable:false
+            (status ~granted:0 ~result_nodes:0 (Msg.Failed "transaction ended"))
+        else begin
+          Site.note_coordinator ctx.site ~txn ~coordinator:src;
+          let c = ctx.cost in
+          (* Execute in shipment order, stopping at the first operation the
+             LockManager does not grant; the granted prefix keeps its locks
+             and effects (the coordinator advances past it). *)
+          let rec go todo granted work result_nodes =
+            match todo with
+            | [] -> (granted, work, result_nodes, Msg.Granted)
+            | (s : Msg.shipment) :: rest -> (
+              let outcome =
+                Site.process_operation ctx.site ~txn ~op_index:s.Msg.s_index
+                  ~attempt ~doc:s.Msg.s_doc s.Msg.s_op
+              in
+              match outcome with
+              | Site.Granted { lock_requests; touched; result_nodes = rn } ->
+                let work =
+                  work +. c.Cost.sched_ms
+                  +. (float_of_int lock_requests *. c.Cost.lock_request_ms)
+                  +. (float_of_int touched *. c.Cost.node_touch_ms)
+                in
+                go rest (granted + 1) work (result_nodes + rn)
+              | Site.Blocked { lock_requests; blockers; wound } ->
+                List.iter
+                  (fun b ->
+                    Site.register_waiter ctx.site ~blocker:b
+                      { Site.waiting_txn = txn; waiting_coordinator = src })
+                  blockers;
+                (* Wound-wait: tell each younger holder's coordinator to
+                   abort it; the requester's wake arrives when their locks
+                   release. *)
+                List.iter
+                  (fun victim ->
+                    match Site.coordinator_of ctx.site ~txn:victim with
+                    | Some coord -> reply ctx ~dst:coord (Msg.Wound { txn = victim })
+                    | None -> ())
+                  wound;
+                ( granted,
+                  work +. c.Cost.sched_ms
+                  +. (float_of_int lock_requests *. c.Cost.lock_request_ms),
+                  result_nodes, Msg.Blocked )
+              | Site.Deadlock { lock_requests } ->
+                ( granted,
+                  work +. c.Cost.sched_ms
+                  +. (float_of_int lock_requests *. c.Cost.lock_request_ms),
+                  result_nodes, Msg.Deadlock )
+              | Site.Op_failed msg ->
+                (granted, work +. c.Cost.sched_ms, result_nodes, Msg.Failed msg))
+          in
+          let granted, work, result_nodes, st = go ops 0 0.0 0 in
+          charge ctx work;
+          ignore
+            (Sim.schedule ctx.sim ~delay:work (fun () ->
+                 reply ctx ~dst:src ~reliable:false
+                   (status ~granted ~result_nodes st)))
+        end)
+
+(* Alg. 1 l. 16: reverse one operation; its released locks may already
+   unblock a waiter. *)
+let handle_op_undo ctx ~txn ~op_index ~attempt =
+  on_site_free ctx (fun () ->
+      Site.undo_operation ~only_attempt:attempt ctx.site ~txn ~op_index;
+      charge ctx ctx.cost.Cost.sched_ms;
+      wake_waiters ctx (Site.take_waiters ctx.site ~blocker:txn))
+
+(* 2PC phase one: durably log Prepared before voting yes. *)
+let handle_prepare ctx ~src ~txn =
+  if ctx.site_failed () then reply ctx ~dst:src (Msg.Vote { txn; ok = false })
+  else
+    on_site_free ctx (fun () ->
+        Wal.append ctx.site.Site.wal
+          (Wal.Prepared { txn; time = Sim.now ctx.sim });
+        let work = ctx.cost.Cost.sched_ms in
+        charge ctx work;
+        ignore
+          (Sim.schedule ctx.sim ~delay:work (fun () ->
+               reply ctx ~dst:src (Msg.Vote { txn; ok = true }))))
+
+(* Algorithms 5/6 participant side: persist or undo, release locks, wake
+   waiters, acknowledge. *)
+let handle_end ctx ~src ~txn ~commit =
+  if ctx.site_failed () then
+    (* "the message sent to the site is not served" (Alg. 5 l. 5 / 6 l. 5) *)
+    reply ctx ~dst:src (Msg.End_ack { txn; ok = false })
+  else
+    on_site_free ctx (fun () ->
+        let touched = Site.txn_touched_total ctx.site ~txn in
+        let waiters = Site.finish_txn ctx.site ~txn ~commit in
+        (* The outcome record follows the DataManager write-back, so the
+           durable store and the log can never disagree (see Wal). *)
+        if ctx.two_phase then
+          Wal.append ctx.site.Site.wal
+            (if commit then Wal.Committed { txn; time = Sim.now ctx.sim }
+             else Wal.Aborted { txn; time = Sim.now ctx.sim });
+        let c = ctx.cost in
+        let work =
+          c.Cost.sched_ms
+          +.
+          if commit then float_of_int touched *. c.Cost.persist_node_ms
+          else float_of_int touched *. c.Cost.node_touch_ms
+        in
+        charge ctx work;
+        wake_waiters ctx waiters;
+        ignore
+          (Sim.schedule ctx.sim ~delay:work (fun () ->
+               reply ctx ~dst:src (Msg.End_ack { txn; ok = true }))))
+
+(* Alg. 6 l. 6-9: the best-effort "fail everywhere" broadcast — release
+   whatever this site holds, wake nobody, acknowledge nothing. *)
+let handle_quiet_abort ctx ~txn = ignore (Site.finish_txn ctx.site ~txn ~commit:false)
+
+let handle_wfg_request ctx ~src =
+  let snap = Site.wfg_snapshot ctx.site in
+  reply ctx ~dst:src (Msg.Wfg_reply { edges = Dtx_locks.Wfg.edges snap })
+
+let handle ctx ~src (msg : Msg.t) =
+  match msg with
+  | Msg.Op_ship { txn; attempt; ops } -> handle_op_ship ctx ~src ~txn ~attempt ops
+  | Msg.Op_undo { txn; op_index; attempt } -> handle_op_undo ctx ~txn ~op_index ~attempt
+  | Msg.Prepare { txn } -> handle_prepare ctx ~src ~txn
+  | Msg.Commit { txn } -> handle_end ctx ~src ~txn ~commit:true
+  | Msg.Abort { txn; quiet = false } -> handle_end ctx ~src ~txn ~commit:false
+  | Msg.Abort { txn; quiet = true } -> handle_quiet_abort ctx ~txn
+  | Msg.Wfg_request -> handle_wfg_request ctx ~src
+  | Msg.Op_status _ | Msg.Vote _ | Msg.End_ack _ | Msg.Wake _ | Msg.Wound _
+  | Msg.Victim _ | Msg.Wfg_reply _ ->
+    (* coordinator-bound: not ours *)
+    ()

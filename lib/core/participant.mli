@@ -1,0 +1,32 @@
+(** The participant side of the paper's Scheduler: an explicit state
+    machine over one {!Site}, driven entirely by {!Dtx_net.Msg.t} values.
+
+    It implements Algorithm 2 (execute a shipped operation in the local
+    LockManager and report its status), the participant halves of
+    Algorithms 5/6 (persist or undo, release locks, wake waiters,
+    acknowledge), the 2PC prepare/vote leg, cross-site operation undo
+    (Alg. 1 l. 16), and the detector's wait-for-graph request (Alg. 4
+    l. 4). Every reply it emits goes back through {!Dtx_net.Net.dispatch} —
+    the participant holds no reference to any coordinator state. *)
+
+type ctx = {
+  sim : Dtx_sim.Sim.t;
+  net : Dtx_net.Net.t;
+  cost : Cost.t;
+  site : Site.t;
+  two_phase : bool;  (** append WAL prepare/outcome records (2PC mode) *)
+  site_failed : unit -> bool;
+      (** failure injection: a failed site answers operation shipments and
+          end-protocol messages with refusals ("the message sent to the
+          site is not served", Alg. 5 l. 5 / 6 l. 5) *)
+  txn_live : txn:int -> attempt:int -> bool;
+      (** liveness peek before executing a shipment: the transaction may
+          have been aborted while the message was in flight, and executing
+          for a dead transaction would leak effects no later abort cleans
+          up *)
+}
+
+val handle : ctx -> src:int -> Dtx_net.Msg.t -> unit
+(** Consume one participant-bound message ([Op_ship], [Op_undo],
+    [Prepare], [Commit], [Abort], [Wfg_request]); coordinator-bound
+    messages are ignored. *)

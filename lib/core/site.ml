@@ -36,6 +36,7 @@ type t = {
   op_effects : (int * int, op_effect) Hashtbl.t;
   txn_ops : (int, int list ref) Hashtbl.t;
   waiters : (int, waiter list ref) Hashtbl.t;
+  txn_coords : (int, int) Hashtbl.t;
   mutable busy_until : float;
   stats : stats;
   mutable access_sink :
@@ -71,6 +72,7 @@ let create ~id ~protocol_kind ?(deadlock_policy = Detection) ~storage ~docs () =
     op_effects = Hashtbl.create 64;
     txn_ops = Hashtbl.create 32;
     waiters = Hashtbl.create 32;
+    txn_coords = Hashtbl.create 32;
     busy_until = 0.0;
     stats =
       { ops_processed = 0; lock_requests = 0; blocked_ops = 0;
@@ -249,8 +251,14 @@ let finish_txn t ~txn ~commit =
   ignore (Table.release_txn t.table ~txn);
   List.iter (fun op_index -> Hashtbl.remove t.op_effects (txn, op_index)) ops;
   Hashtbl.remove t.txn_ops txn;
+  Hashtbl.remove t.txn_coords txn;
   Wfg.remove_txn t.wfg txn;
   take_waiters t ~blocker:txn
+
+let note_coordinator t ~txn ~coordinator =
+  Hashtbl.replace t.txn_coords txn coordinator
+
+let coordinator_of t ~txn = Hashtbl.find_opt t.txn_coords txn
 
 let wfg_snapshot t = Wfg.copy t.wfg
 
@@ -265,6 +273,7 @@ let wipe_volatile t =
   Hashtbl.reset t.op_effects;
   Hashtbl.reset t.txn_ops;
   Hashtbl.reset t.waiters;
+  Hashtbl.reset t.txn_coords;
   t.busy_until <- 0.0
 
 let recover_from_storage t =

@@ -69,6 +69,9 @@ type t = {
   txn_ops : (int, int list ref) Hashtbl.t;
       (** txn → op indexes executed here, newest first *)
   waiters : (int, waiter list ref) Hashtbl.t;  (** blocker txn → waiters *)
+  txn_coords : (int, int) Hashtbl.t;
+      (** txn → coordinator site, recorded from each operation shipment, so
+          the participant can address wound notifications (wound-wait) *)
   mutable busy_until : float;  (** scheduler serialization point *)
   stats : stats;
   mutable access_sink :
@@ -120,6 +123,12 @@ val undo_operation : ?only_attempt:int -> t -> txn:int -> op_index:int -> unit
     the recorded attempt (a stale undo message). *)
 
 val register_waiter : t -> blocker:int -> waiter -> unit
+
+val note_coordinator : t -> txn:int -> coordinator:int -> unit
+(** Remember which site coordinates [txn] (from an operation shipment's
+    source). Cleared by {!finish_txn} and {!wipe_volatile}. *)
+
+val coordinator_of : t -> txn:int -> int option
 
 val take_waiters : t -> blocker:int -> waiter list
 (** Remove and return the transactions waiting on [blocker] here. Called

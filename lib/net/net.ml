@@ -11,6 +11,8 @@ let wan = { base_latency_ms = 20.0; per_kb_ms = 0.8 }
 
 module Rng = Dtx_util.Rng
 
+type handler = src:int -> dst:int -> Msg.t -> unit
+
 type t = {
   sim : Sim.t;
   base_latency_ms : float;
@@ -20,6 +22,10 @@ type t = {
   mutable messages : int;
   mutable bytes : int;
   mutable dropped : int;
+  sent_by_kind : int array;
+  dropped_by_kind : int array;
+  bytes_by_kind : int array;
+  mutable handler : handler option;
 }
 
 let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
@@ -33,13 +39,19 @@ let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
     rng = Rng.create seed;
     messages = 0;
     bytes = 0;
-    dropped = 0 }
+    dropped = 0;
+    sent_by_kind = Array.make Msg.Kind.count 0;
+    dropped_by_kind = Array.make Msg.Kind.count 0;
+    bytes_by_kind = Array.make Msg.Kind.count 0;
+    handler = None }
+
+let set_handler t h = t.handler <- Some h
 
 let latency t ~src ~dst ~bytes =
   if src = dst then 0.0
   else t.base_latency_ms +. (t.per_kb_ms *. (float_of_int bytes /. 1024.0))
 
-let send t ~src ~dst ?(bytes = 256) ?(reliable = true) k =
+let send t ~src ~dst ~bytes ?(reliable = true) k =
   let delay = latency t ~src ~dst ~bytes in
   if src <> dst then begin
     t.messages <- t.messages + 1;
@@ -51,13 +63,73 @@ let send t ~src ~dst ?(bytes = 256) ?(reliable = true) k =
   then t.dropped <- t.dropped + 1
   else ignore (Sim.schedule t.sim ~delay k)
 
+let dispatch t ~src ~dst ?(reliable = true) msg =
+  let h =
+    match t.handler with
+    | Some h -> h
+    | None -> invalid_arg "Net.dispatch: no handler registered"
+  in
+  let bytes = Msg.size msg in
+  let i = Msg.Kind.index (Msg.kind msg) in
+  let delay = latency t ~src ~dst ~bytes in
+  if src <> dst then begin
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes;
+    t.sent_by_kind.(i) <- t.sent_by_kind.(i) + 1;
+    t.bytes_by_kind.(i) <- t.bytes_by_kind.(i) + bytes
+  end;
+  if
+    src <> dst && (not reliable) && t.drop_pct > 0
+    && Rng.pct t.rng t.drop_pct
+  then begin
+    t.dropped <- t.dropped + 1;
+    t.dropped_by_kind.(i) <- t.dropped_by_kind.(i) + 1
+  end
+  else ignore (Sim.schedule t.sim ~delay (fun () -> h ~src ~dst msg))
+
 let messages t = t.messages
 
 let dropped t = t.dropped
 
 let bytes_sent t = t.bytes
 
+type traffic = {
+  t_kind : Msg.Kind.t;
+  t_sent : int;
+  t_dropped : int;
+  t_bytes : int;
+}
+
+let traffic t =
+  List.filter_map
+    (fun k ->
+      let i = Msg.Kind.index k in
+      if t.sent_by_kind.(i) = 0 && t.dropped_by_kind.(i) = 0 then None
+      else
+        Some
+          { t_kind = k;
+            t_sent = t.sent_by_kind.(i);
+            t_dropped = t.dropped_by_kind.(i);
+            t_bytes = t.bytes_by_kind.(i) })
+    Msg.Kind.all
+
+let pp_traffic ppf t =
+  let rows = traffic t in
+  if rows = [] then Format.fprintf ppf "(no typed traffic)"
+  else begin
+    Format.fprintf ppf "%-12s %8s %8s %10s" "message" "sent" "dropped" "bytes";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "@\n%-12s %8d %8d %10d"
+          (Msg.Kind.to_string r.t_kind)
+          r.t_sent r.t_dropped r.t_bytes)
+      rows
+  end
+
 let reset_counters t =
   t.messages <- 0;
   t.bytes <- 0;
-  t.dropped <- 0
+  t.dropped <- 0;
+  Array.fill t.sent_by_kind 0 Msg.Kind.count 0;
+  Array.fill t.dropped_by_kind 0 Msg.Kind.count 0;
+  Array.fill t.bytes_by_kind 0 Msg.Kind.count 0

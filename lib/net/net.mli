@@ -3,13 +3,15 @@
     Every inter-scheduler interaction of the paper — remote operations and
     their status replies (Alg. 1 l. 13, Alg. 2 l. 13), commit/abort/fail
     messages (Algs. 5–6), and the deadlock detector's wait-for-graph requests
-    (Alg. 4 l. 4) — crosses this layer. Each message costs a base latency
-    plus a per-byte term, modelling the paper's 100 Mbit/s switched LAN;
-    local (same-site) deliveries are free but still go through the event
-    queue, preserving causal ordering.
+    (Alg. 4 l. 4) — crosses this layer as a typed {!Msg.t} value routed by
+    {!dispatch}. Each message costs a base latency plus a per-byte term
+    (its {e actual} serialized size, {!Msg.size}), modelling the paper's
+    100 Mbit/s switched LAN; local (same-site) deliveries are free but still
+    go through the event queue, preserving causal ordering.
 
-    Traffic counters feed the experiment reports (the "communication and
-    synchronization overhead" visible in the total-replication results). *)
+    Traffic is counted per message kind ({!traffic}) and in total; both feed
+    the experiment reports (the "communication and synchronization overhead"
+    visible in the total-replication results). *)
 
 type t
 
@@ -41,15 +43,30 @@ val create :
     each unreliable remote message is dropped with that probability
     (deterministically, from [seed]). *)
 
+type handler = src:int -> dst:int -> Msg.t -> unit
+
+val set_handler : t -> handler -> unit
+(** Register the cluster's message router: every {!dispatch}ed message is
+    delivered to it after the link delay. Exactly one handler serves a
+    network; a later call replaces the earlier one. *)
+
+val dispatch : t -> src:int -> dst:int -> ?reliable:bool -> Msg.t -> unit
+(** Ship a protocol message: its {!Msg.size} is charged as traffic (counted
+    per {!Msg.Kind}), and the registered handler receives it after the link
+    delay. [src = dst] delivers at the next event with no delay and is not
+    counted as network traffic. [reliable] (default [true]) exempts the
+    message from loss — commit/abort/ack/wake traffic rides a retransmitting
+    channel; only operation shipments and their status replies are sent
+    unreliably by the cluster.
+    @raise Invalid_argument if no handler was registered. *)
+
 val send :
-  t -> src:int -> dst:int -> ?bytes:int -> ?reliable:bool -> (unit -> unit) ->
+  t -> src:int -> dst:int -> bytes:int -> ?reliable:bool -> (unit -> unit) ->
   unit
-(** [send net ~src ~dst k] delivers [k] after the link delay. [bytes]
-    (default 256) sizes the message. [src = dst] delivers at the next event
-    with no delay and is not counted as network traffic. [reliable]
-    (default [true]) exempts the message from loss — commit/abort/ack/wake
-    traffic rides a retransmitting channel; only operation shipments and
-    their status replies are sent unreliably by the cluster. *)
+(** Low-level untyped delivery (simulation plumbing and tests): deliver [k]
+    after the link delay of a [bytes]-sized message. Counted in the totals
+    but not in the per-kind {!traffic}. Same [src = dst] and [reliable]
+    semantics as {!dispatch}. *)
 
 val latency : t -> src:int -> dst:int -> bytes:int -> float
 (** The delay a message would incur. *)
@@ -61,5 +78,19 @@ val dropped : t -> int
 (** Unreliable messages lost to [drop_pct]. *)
 
 val bytes_sent : t -> int
+
+(** Per-message-kind counters (remote {!dispatch} traffic only). *)
+type traffic = {
+  t_kind : Msg.Kind.t;
+  t_sent : int;
+  t_dropped : int;
+  t_bytes : int;
+}
+
+val traffic : t -> traffic list
+(** One row per kind that saw traffic, in {!Msg.Kind.all} order. *)
+
+val pp_traffic : Format.formatter -> t -> unit
+(** A small table of {!traffic} (the bench/example "message breakdown"). *)
 
 val reset_counters : t -> unit

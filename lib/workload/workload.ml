@@ -65,6 +65,7 @@ type result = {
   makespan_ms : float;
   messages : int;
   net_bytes : int;
+  traffic : Net.traffic list;
   lock_requests : int;
   blocked_ops : int;
   op_undos : int;
@@ -189,6 +190,7 @@ let run p =
     makespan_ms = makespan;
     messages = Net.messages net;
     net_bytes = Net.bytes_sent net;
+    traffic = Net.traffic net;
     lock_requests = Cluster.total_lock_requests cluster;
     blocked_ops = Cluster.total_blocked_ops cluster;
     op_undos = s.Cluster.op_undos;
@@ -208,7 +210,16 @@ let pp_result ppf r =
     r.params.n_sites r.params.n_clients r.params.update_txn_pct
     r.params.update_op_pct r.params.base_size_mb r.committed r.planned_txns
     r.aborted r.failed r.deadlocks Stats.pp_summary r.response r.makespan_ms
-    r.messages r.lock_requests r.blocked_ops r.op_undos r.structure_nodes
+    r.messages r.lock_requests r.blocked_ops r.op_undos r.structure_nodes;
+  if r.traffic <> [] then begin
+    Format.fprintf ppf "@\n  traffic:";
+    List.iter
+      (fun (row : Net.traffic) ->
+        Format.fprintf ppf " %s=%d/%dB"
+          (Dtx_net.Msg.Kind.to_string row.Net.t_kind)
+          row.Net.t_sent row.Net.t_bytes)
+      r.traffic
+  end
 
 type aggregate = {
   runs : result list;

@@ -53,6 +53,8 @@ type result = {
   makespan_ms : float;  (** virtual time until the system drained *)
   messages : int;
   net_bytes : int;
+  traffic : Dtx_net.Net.traffic list;
+      (** per-message-kind sent/dropped/bytes breakdown *)
   lock_requests : int;
   blocked_ops : int;
   op_undos : int;

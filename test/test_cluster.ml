@@ -593,6 +593,53 @@ let test_reliable_network_drops_nothing () =
   ignore sim;
   check "no drops configured" 0 (Net.dropped net)
 
+(* A lossy link can also deliver late duplicates. Re-delivering end-protocol
+   and wake messages for an already-finished transaction must change
+   nothing: no new outcomes, no document mutation, no resurrected locks. *)
+let test_duplicate_delivery_idempotent () =
+  let module Msg = Dtx_net.Msg in
+  let sim, net, cluster = make_cluster () in
+  let txn_id = ref (-1) in
+  submit cluster ~coordinator:0
+    [ ( "d1",
+        Op.Insert
+          { target = P.parse "/people";
+            pos = Op.Into;
+            fragment = "<person><id>dup</id></person>" } ) ]
+    (fun txn -> txn_id := txn.Txn.id);
+  Sim.run sim;
+  checkb "committed first" true (!txn_id >= 0);
+  let snapshot () =
+    let s0 = Cluster.stats cluster in
+    ( s0.Cluster.committed, s0.Cluster.aborted, s0.Cluster.failed,
+      Array.fold_left
+        (fun acc (site : Site.t) ->
+          acc + Dtx_locks.Table.lock_count site.Site.table)
+        0 (Cluster.sites cluster) )
+  in
+  let before = snapshot () in
+  let txn = !txn_id in
+  (* Late duplicates: Commit and Abort re-delivered to every participant,
+     a stale Wake re-delivered to the coordinator. *)
+  Array.iter
+    (fun (site : Site.t) ->
+      let dst = site.Site.id in
+      Net.dispatch net ~src:0 ~dst (Msg.Commit { txn });
+      Net.dispatch net ~src:0 ~dst (Msg.Abort { txn; quiet = false });
+      Net.dispatch net ~src:0 ~dst (Msg.Abort { txn; quiet = true }))
+    (Cluster.sites cluster);
+  Net.dispatch net ~src:1 ~dst:0 (Msg.Wake { txn });
+  Sim.run sim;
+  checkb "outcome counters unchanged" true (before = snapshot ());
+  check "insert still applied once" 1
+    (List.length
+       (Eval.select
+          (replica cluster ~site:0 ~doc:"d1")
+          (P.parse "//person[id = \"dup\"]")));
+  checkb "replicas equal" true
+    (Doc.equal_structure (replica cluster ~site:0 ~doc:"d1")
+       (replica cluster ~site:1 ~doc:"d1"))
+
 (* --- determinism ----------------------------------------------------------- *)
 
 let run_trace () =
@@ -655,7 +702,9 @@ let () =
         [ Alcotest.test_case "all txns terminate under loss" `Quick
             test_lossy_network_all_txns_terminate;
           Alcotest.test_case "no loss by default" `Quick
-            test_reliable_network_drops_nothing ] );
+            test_reliable_network_drops_nothing;
+          Alcotest.test_case "duplicate delivery idempotent" `Quick
+            test_duplicate_delivery_idempotent ] );
       ( "two-phase commit",
         [ Alcotest.test_case "wal unit" `Quick test_wal_unit;
           Alcotest.test_case "2PC commits + logs" `Quick test_two_phase_commit_works;

@@ -18,7 +18,7 @@ let test_delivery_time () =
   let sim = Sim.create () in
   let net = Net.create ~sim ~base_latency_ms:0.5 ~per_kb_ms:0.0 () in
   let at = ref (-1.0) in
-  Net.send net ~src:0 ~dst:1 (fun () -> at := Sim.now sim);
+  Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> at := Sim.now sim);
   Sim.run sim;
   checkf "delivered after base latency" 0.5 !at
 
@@ -28,7 +28,7 @@ let test_local_delivery_still_async () =
   let sim = Sim.create () in
   let net = Net.create ~sim () in
   let order = ref [] in
-  Net.send net ~src:0 ~dst:0 (fun () -> order := "delivered" :: !order);
+  Net.send net ~src:0 ~dst:0 ~bytes:64 (fun () -> order := "delivered" :: !order);
   order := "after-send" :: !order;
   Sim.run sim;
   Alcotest.(check (list string)) "send returns before delivery"
@@ -82,7 +82,7 @@ let test_drop_pct () =
   let net = Net.create ~sim ~drop_pct:50 ~seed:3 () in
   let delivered = ref 0 in
   for _ = 1 to 200 do
-    Net.send net ~src:0 ~dst:1 ~reliable:false (fun () -> incr delivered)
+    Net.send net ~src:0 ~dst:1 ~bytes:64 ~reliable:false (fun () -> incr delivered)
   done;
   Sim.run sim;
   check "sent counter includes drops" 200 (Net.messages net);
@@ -94,10 +94,10 @@ let test_reliable_exempt_from_loss () =
   let net = Net.create ~sim ~drop_pct:100 ~seed:3 () in
   let delivered = ref 0 in
   for _ = 1 to 20 do
-    Net.send net ~src:0 ~dst:1 (fun () -> incr delivered)
+    Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> incr delivered)
   done;
   for _ = 1 to 20 do
-    Net.send net ~src:0 ~dst:1 ~reliable:false (fun () -> incr delivered)
+    Net.send net ~src:0 ~dst:1 ~bytes:64 ~reliable:false (fun () -> incr delivered)
   done;
   Sim.run sim;
   check "reliable all delivered, unreliable none" 20 !delivered;
@@ -107,7 +107,7 @@ let test_local_never_dropped () =
   let sim = Sim.create () in
   let net = Net.create ~sim ~drop_pct:100 ~seed:3 () in
   let delivered = ref 0 in
-  Net.send net ~src:1 ~dst:1 ~reliable:false (fun () -> incr delivered);
+  Net.send net ~src:1 ~dst:1 ~bytes:64 ~reliable:false (fun () -> incr delivered);
   Sim.run sim;
   check "local exempt" 1 !delivered
 
