@@ -2,9 +2,9 @@
 # (ocamlformat is not pinned in this environment, so formatting is not
 # part of the gate; add it here if/when the binary is available.)
 
-.PHONY: check build test bench clean
+.PHONY: check build test bench bench-smoke bench-json clean
 
-check: build test
+check: build test bench-smoke
 
 build:
 	dune build
@@ -14,6 +14,15 @@ test:
 
 bench:
 	dune exec bench/main.exe -- quick
+
+# Tiny-quota microbench pass: catches perf-path code that crashes without
+# paying for a real measurement run.
+bench-smoke:
+	dune exec bench/main.exe -- micro smoke
+
+# Machine-readable perf snapshot (micro ns/run + fig9-quick workload numbers).
+bench-json:
+	dune exec bench/main.exe -- json
 
 clean:
 	dune clean

@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- fig9 … fig12 # individual figures
      dune exec bench/main.exe -- summary      # qualitative checks table
      dune exec bench/main.exe -- micro        # Bechamel microbenchmarks
+     dune exec bench/main.exe -- micro smoke  # same, tiny quota (make check)
+     dune exec bench/main.exe -- json         # write BENCH_pr2.json
      dune exec bench/main.exe -- ablation     # design-choice ablations
      dune exec bench/main.exe -- fig9 export  # also write results/<fig>.csv *)
 
@@ -55,7 +57,10 @@ let summary ~quick =
 
 (* --- Bechamel microbenchmarks ------------------------------------------ *)
 
-let microbenches () =
+(* [smoke] shrinks the measurement quota so `make check` can exercise every
+   perf-path case in well under a second; the numbers it produces are noisy
+   and only the absence of crashes matters. *)
+let microbench_results ~smoke =
   let open Bechamel in
   let open Toolkit in
   let doc = Generator.generate (Generator.params_of_mb 4.0) in
@@ -90,23 +95,115 @@ let microbenches () =
             ignore (Wfg.find_cycle g));
         mk "xmark-generate-1MB" (fun () ->
             ignore (Generator.generate (Generator.params_of_mb 1.0)));
-        mk "workload-gen-query" (fun () -> ignore (Queries.gen_query rng doc)) ]
+        mk "workload-gen-query" (fun () -> ignore (Queries.gen_query rng doc));
+        (* Uncached XDGL derivation: every call re-walks DataGuide targets,
+           ancestors and predicate paths. *)
+        mk "xdgl-lock-derivation" (fun () ->
+            ignore (Dtx_protocol.Xdgl_rules.requests dg (Dtx_update.Op.Query q_pred)));
+        (* Same derivation through Protocol.lock_requests, which memoizes on
+           the DataGuide version — steady-state cache hits. *)
+        (let p = Protocol.create Protocol.Xdgl in
+         Protocol.add_doc p doc;
+         mk "xdgl-lock-derivation-cached" (fun () ->
+             ignore
+               (Protocol.lock_requests p ~doc:doc.Dtx_xml.Doc.name
+                  (Dtx_update.Op.Query q_pred)))) ]
   in
   let instance = Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let quota = if smoke then 0.02 else 0.5 in
+  let limit = if smoke then 50 else 1000 in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
   let raw = Benchmark.all cfg [ instance ] tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols instance raw in
-  Format.fprintf ppf "== Microbenchmarks (monotonic clock, ns/run) ==@.";
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-  List.iter
-    (fun (name, v) ->
+  Hashtbl.fold
+    (fun name v acc ->
       match Analyze.OLS.estimates v with
-      | Some [ est ] -> Format.fprintf ppf "%-34s %14.1f@." name est
-      | _ -> Format.fprintf ppf "%-34s %14s@." name "n/a")
-    (List.sort compare rows)
+      | Some [ est ] -> (name, Some est) :: acc
+      | _ -> (name, None) :: acc)
+    results []
+  |> List.sort compare
+
+let microbenches ~smoke =
+  let rows = microbench_results ~smoke in
+  Format.fprintf ppf "== Microbenchmarks (monotonic clock, ns/run%s) ==@."
+    (if smoke then ", smoke quota" else "");
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Format.fprintf ppf "%-34s %14.1f@." name est
+      | None -> Format.fprintf ppf "%-34s %14s@." name "n/a")
+    rows
+
+(* --- JSON export (machine-readable perf trajectory) --------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let bench_json ~out () =
+  let micro = microbench_results ~smoke:false in
+  (* Fig.-9-style quick configurations: read-only transactions, both paper
+     protocols, two client counts — enough to track throughput and latency
+     drift from PR to PR without a full figure run. *)
+  let fig9_rows =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun n_clients ->
+            let r =
+              Workload.run
+                { Workload.default_params with
+                  protocol = kind;
+                  n_clients;
+                  base_size_mb = 8.0;
+                  n_sites = 3;
+                  update_txn_pct = 0;
+                  replication = Allocation.Partial { copies = 1 } }
+            in
+            let throughput =
+              if r.Workload.makespan_ms > 0.0 then
+                float_of_int r.Workload.committed /. r.Workload.makespan_ms
+                *. 1000.0
+              else 0.0
+            in
+            Printf.sprintf
+              "    {\"protocol\": \"%s\", \"clients\": %d, \"committed\": %d, \
+               \"throughput_txn_per_s\": %.3f, \"mean_latency_ms\": %.3f, \
+               \"deadlocks\": %d}"
+              (json_escape (Protocol.kind_to_string kind))
+              n_clients r.Workload.committed throughput
+              r.Workload.response.Dtx_util.Stats.mean r.Workload.deadlocks)
+          [ 8; 12 ])
+      [ Protocol.Xdgl; Protocol.Node2pl ]
+  in
+  let micro_rows =
+    List.filter_map
+      (fun (name, est) ->
+        Option.map
+          (fun e -> Printf.sprintf "    \"%s\": %.1f" (json_escape name) e)
+          est)
+      micro
+  in
+  let oc = open_out out in
+  Printf.fprintf oc
+    "{\n  \"micro_ns_per_run\": {\n%s\n  },\n  \"fig9_quick\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" micro_rows)
+    (String.concat ",\n" fig9_rows);
+  close_out oc;
+  Format.fprintf ppf "[wrote %s]@." out
 
 (* --- Ablations ---------------------------------------------------------- *)
 
@@ -218,16 +315,22 @@ let ablation () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
+  let smoke = List.mem "smoke" args in
   if List.mem "export" args then export_dir := Some "results";
   let figure_args =
     List.filter
       (fun a ->
         a <> "quick" && a <> "summary" && a <> "micro" && a <> "ablation"
-        && a <> "export")
+        && a <> "export" && a <> "smoke" && a <> "json")
       args
   in
   let t0 = Unix.gettimeofday () in
-  if figure_args = [] && not (List.mem "summary" args || List.mem "micro" args || List.mem "ablation" args) then begin
+  if
+    figure_args = []
+    && not
+         (List.mem "summary" args || List.mem "micro" args
+          || List.mem "ablation" args || List.mem "json" args)
+  then begin
     (* Default: everything the paper reports. *)
     print_figures (Experiments.all ~quick ());
     summary ~quick:true;
@@ -236,7 +339,8 @@ let () =
   else begin
     List.iter (run_figure ~quick) figure_args;
     if List.mem "summary" args then summary ~quick;
-    if List.mem "micro" args then microbenches ();
+    if List.mem "micro" args then microbenches ~smoke;
+    if List.mem "json" args then bench_json ~out:"BENCH_pr2.json" ();
     if List.mem "ablation" args then ablation ()
   end;
   Format.fprintf ppf "@.[bench completed in %.1f s]@." (Unix.gettimeofday () -. t0)

@@ -212,8 +212,8 @@ let locks_cmd =
           (Protocol.kind_to_string kind) processed (List.length requests);
         List.iter
           (fun ((r : Table.resource), mode) ->
-            Printf.printf "  %-4s %s#%d\n" (Mode.to_string mode) r.Table.doc
-              r.Table.node)
+            Printf.printf "  %-4s %s#%d\n" (Mode.to_string mode)
+              (Table.resource_doc r) (Table.resource_node r))
           requests)
   in
   Cmd.v

@@ -15,13 +15,17 @@ type t = {
   root : node;
   by_id : (int, node) Hashtbl.t;
   mutable next_id : int;
+  mutable version : int;
 }
+
+let version t = t.version
 
 let new_node t ~label ~parent =
   let n =
     { dg_id = t.next_id; label; parent; children = Hashtbl.create 4; target_count = 0 }
   in
   t.next_id <- t.next_id + 1;
+  t.version <- t.version + 1;
   Hashtbl.replace t.by_id n.dg_id n;
   n
 
@@ -32,7 +36,8 @@ let create ~doc_name ~root_label =
         { dg_id = 0; label = root_label; parent = None;
           children = Hashtbl.create 4; target_count = 0 };
       by_id = Hashtbl.create 64;
-      next_id = 1 }
+      next_id = 1;
+      version = 0 }
   in
   Hashtbl.replace t.by_id 0 t.root;
   t
@@ -80,6 +85,7 @@ let ensure_path t labels =
 let add_instance t labels =
   let n = ensure_path t labels in
   n.target_count <- n.target_count + 1;
+  t.version <- t.version + 1;
   n
 
 let remove_instance t labels =
@@ -90,7 +96,8 @@ let remove_instance t labels =
   | Some n ->
     if n.target_count <= 0 then
       invalid_arg "Dataguide.remove_instance: count already zero";
-    n.target_count <- n.target_count - 1
+    n.target_count <- n.target_count - 1;
+    t.version <- t.version + 1
 
 let add_subtree t (root : Node.t) =
   Node.iter (fun n -> ignore (add_instance t (Node.label_path n))) root
@@ -197,6 +204,7 @@ let prune t =
       (Hashtbl.copy n.children)
   in
   go t.root;
+  if !removed > 0 then t.version <- t.version + !removed;
   !removed
 
 let validate t (doc : Doc.t) =

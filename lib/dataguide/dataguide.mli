@@ -26,10 +26,18 @@ type t = {
   root : node;
   by_id : (int, node) Hashtbl.t;
   mutable next_id : int;
+  mutable version : int;
+      (** bumped on every mutation (node creation, instance count change,
+          prune) — lock-derivation caches key on it *)
 }
 
 val build : Dtx_xml.Doc.t -> t
 (** [build doc] constructs the strong DataGuide of [doc]. *)
+
+val version : t -> int
+(** Monotonic mutation counter: changes whenever the trie's structure or any
+    [target_count] changes, so a cached value derived from the DataGuide is
+    valid iff the version it was computed at is still current. *)
 
 val size : t -> int
 (** Number of DataGuide nodes (distinct label paths). *)

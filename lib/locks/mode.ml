@@ -20,6 +20,33 @@ let compat a b =
 
 let compatible a b = compat a b
 
+let index = function
+  | IS -> 0 | IX -> 1 | SI -> 2 | SA -> 3 | SB -> 4 | ST -> 5 | X -> 6 | XT -> 7
+
+let of_index = function
+  | 0 -> IS | 1 -> IX | 2 -> SI | 3 -> SA | 4 -> SB | 5 -> ST | 6 -> X | 7 -> XT
+  | i -> invalid_arg (Printf.sprintf "Mode.of_index: %d" i)
+
+let bit m = 1 lsl index m
+
+(* conflict_masks.(index m) has the bit of every mode incompatible with [m]
+   set, so "does [m] conflict with any mode in this union of held modes?" is
+   one AND against the union mask. Derived from [compat] at module load, so
+   the two representations cannot drift apart. *)
+let conflict_masks =
+  let masks = Array.make 8 0 in
+  List.iter
+    (fun a ->
+      List.iter (fun b -> if not (compat a b) then
+          masks.(index a) <- masks.(index a) lor bit b)
+        all)
+    all;
+  masks
+
+let conflict_mask m = conflict_masks.(index m)
+
+let mask_compatible m ~held_mask = conflict_masks.(index m) land held_mask = 0
+
 let is_intention = function IS | IX -> true | _ -> false
 
 let is_shared = function IS | SI | SA | SB | ST -> true | _ -> false

@@ -28,6 +28,25 @@ val compatible : t -> t -> bool
 (** [compatible held requested] — symmetric. Two different transactions may
     hold [m1] and [m2] on the same resource iff [compatible m1 m2]. *)
 
+val index : t -> int
+(** Dense index in [0..7], in the order of {!all}. *)
+
+val of_index : int -> t
+(** Inverse of {!index}. @raise Invalid_argument outside [0..7]. *)
+
+val bit : t -> int
+(** [1 lsl index m] — the mode's bit in a mode-set bitmask. *)
+
+val conflict_mask : t -> int
+(** Bitmask of every mode incompatible with [m] (derived from {!compatible}
+    at startup): [conflict_mask m land bit m' <> 0] iff [not (compatible m
+    m')]. *)
+
+val mask_compatible : t -> held_mask:int -> bool
+(** [mask_compatible m ~held_mask] — [m] is compatible with {e every} mode of
+    the union bitmask [held_mask]: a single AND, the lock table's fast
+    path. *)
+
 val is_intention : t -> bool
 (** [IS] and [IX]. *)
 

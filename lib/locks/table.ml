@@ -1,13 +1,85 @@
-type resource = { doc : string; node : int; value : string option }
+module Intern = Dtx_util.Intern
 
-let resource doc node = { doc; node; value = None }
+(* A resource is a packed int: | doc_id:7 | value_id:24 | node:28 |, 59 bits.
+   value_id 0 means "no value dimension"; interned value ids are stored
+   shifted by one. Packing keeps 3 low bits spare so a (resource, mode) pair
+   also fits one int (see [request_key]) and request lists dedupe with a
+   plain integer sort. Doc names and lock values are process-global interned
+   symbols: every table in a simulated cluster shares the same bijection,
+   which costs nothing and keeps resources directly comparable across
+   sites. *)
+type resource = int
 
-let value_resource doc node value = { doc; node; value = Some value }
+let node_bits = 28
+let value_bits = 24
+let doc_bits = 7
+let node_limit = 1 lsl node_bits
+let value_limit = (1 lsl value_bits) - 1
+let doc_limit = 1 lsl doc_bits
+let node_mask = node_limit - 1
+let value_mask = (1 lsl value_bits) - 1
+
+let doc_syms = Intern.create ~max_ids:doc_limit "document name"
+let value_syms = Intern.create ~max_ids:value_limit "lock value"
+
+(* Single-entry memo for the doc-name intern: derivation emits long runs of
+   resources for the same physically-equal doc-name string, so the common
+   case skips the string hash entirely. *)
+let last_doc = ref ""
+let last_doc_id = ref (-1)
+
+let doc_id doc =
+  if doc == !last_doc then !last_doc_id
+  else begin
+    let id = Intern.intern doc_syms doc in
+    last_doc := doc;
+    last_doc_id := id;
+    id
+  end
+
+let resource doc node =
+  if node < 0 || node >= node_limit then
+    invalid_arg (Printf.sprintf "Table.resource: node id %d out of range" node);
+  (doc_id doc lsl (node_bits + value_bits)) lor node
+
+let value_resource doc node value =
+  resource doc node lor ((Intern.intern value_syms value + 1) lsl node_bits)
+
+let resource_doc r = Intern.lookup doc_syms (r lsr (node_bits + value_bits))
+
+let resource_node r = r land node_mask
+
+let resource_value r =
+  match (r lsr node_bits) land value_mask with
+  | 0 -> None
+  | v -> Some (Intern.lookup value_syms (v - 1))
+
+let compare_resource (a : resource) (b : resource) = compare a b
 
 let pp_resource ppf r =
-  match r.value with
-  | None -> Format.fprintf ppf "%s#%d" r.doc r.node
-  | Some v -> Format.fprintf ppf "%s#%d=%S" r.doc r.node v
+  match resource_value r with
+  | None -> Format.fprintf ppf "%s#%d" (resource_doc r) (resource_node r)
+  | Some v -> Format.fprintf ppf "%s#%d=%S" (resource_doc r) (resource_node r) v
+
+let request_key r mode = (r lsl 3) lor Mode.index mode
+
+let dedup_requests reqs =
+  match reqs with
+  | [] | [ _ ] -> reqs
+  | _ ->
+    List.rev_map (fun (r, m) -> request_key r m) reqs
+    |> List.sort_uniq (fun (a : int) b -> compare a b)
+    |> List.map (fun k -> (k lsr 3, Mode.of_index (k land 7)))
+
+(* Int-keyed hashtable with a multiplicative mixer: no polymorphic hashing
+   anywhere on the grant/conflict path. *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+
+  let hash x = (x * 0x2545F4914F6CDD1D) land max_int
+end)
 
 (* One grant: a transaction holding [mode] on a resource, reference-counted
    (the same operation may request the same lock several times, e.g. IS on a
@@ -18,75 +90,96 @@ type holder = {
   mutable count : int;
 }
 
+(* [mask] is the union of the mode bits of every holder (the requester's own
+   included); the common no-conflict acquire answers with one AND against it
+   and never scans [holders]. *)
+type entry = {
+  mutable holders : holder list;
+  mutable mask : int;
+}
+
 type t = {
-  table : (resource, holder list ref) Hashtbl.t;
-  by_txn : (int, (resource, unit) Hashtbl.t) Hashtbl.t;
+  table : entry Itbl.t;
+  by_txn : unit Itbl.t Itbl.t;  (* txn -> set of its resources *)
   mutable grants : int;
 }
 
-let create () = { table = Hashtbl.create 256; by_txn = Hashtbl.create 64; grants = 0 }
+let create () = { table = Itbl.create 256; by_txn = Itbl.create 64; grants = 0 }
 
 let entry t r =
-  match Hashtbl.find_opt t.table r with
+  match Itbl.find_opt t.table r with
   | Some e -> e
   | None ->
-    let e = ref [] in
-    Hashtbl.replace t.table r e;
+    let e = { holders = []; mask = 0 } in
+    Itbl.replace t.table r e;
     e
 
-let note_txn_resource t ~txn r =
-  let set =
-    match Hashtbl.find_opt t.by_txn txn with
-    | Some s -> s
-    | None ->
-      let s = Hashtbl.create 16 in
-      Hashtbl.replace t.by_txn txn s;
-      s
-  in
-  Hashtbl.replace set r ()
+let recompute_mask e =
+  e.mask <- List.fold_left (fun m h -> m lor Mode.bit h.mode) 0 e.holders
 
-let conflicts_on t ~txn r mode =
-  match Hashtbl.find_opt t.table r with
-  | None -> []
-  | Some e ->
-    List.filter_map
-      (fun h ->
-        if h.txn <> txn && not (Mode.compatible h.mode mode) then Some h.txn
-        else None)
-      !e
+let txn_set t txn =
+  match Itbl.find_opt t.by_txn txn with
+  | Some s -> s
+  | None ->
+    let s = Itbl.create 16 in
+    Itbl.replace t.by_txn txn s;
+    s
 
-let grant t ~txn r mode =
-  let e = entry t r in
-  (match List.find_opt (fun h -> h.txn = txn && h.mode = mode) !e with
-   | Some h -> h.count <- h.count + 1
-   | None -> e := { txn; mode; count = 1 } :: !e);
-  t.grants <- t.grants + 1;
-  note_txn_resource t ~txn r
+let rec find_holder holders txn (mode : Mode.t) =
+  match holders with
+  | [] -> None
+  | h :: rest ->
+    if h.txn = txn && h.mode = mode then Some h else find_holder rest txn mode
 
 let ungrant t ~txn r mode =
-  match Hashtbl.find_opt t.table r with
+  match Itbl.find_opt t.table r with
   | None -> ()
   | Some e -> (
-    match List.find_opt (fun h -> h.txn = txn && h.mode = mode) !e with
+    match find_holder e.holders txn mode with
     | None -> ()
     | Some h ->
       h.count <- h.count - 1;
       t.grants <- t.grants - 1;
       if h.count = 0 then begin
-        e := List.filter (fun h' -> not (h' == h)) !e;
-        if !e = [] then Hashtbl.remove t.table r
+        e.holders <- List.filter (fun h' -> not (h' == h)) e.holders;
+        if e.holders = [] then Itbl.remove t.table r else recompute_mask e
       end)
 
 let sort_uniq_ints l = List.sort_uniq compare l
 
 let acquire_all t ~txn requests =
-  (* First pass: collect every conflicting transaction without mutating. *)
-  let conflicting =
-    List.concat_map (fun (r, mode) -> conflicts_on t ~txn r mode) requests
-  in
-  match sort_uniq_ints conflicting with
+  (* First pass: collect every conflicting transaction without mutating. The
+     mask fast path makes the no-conflict case two hashtable probes per
+     request (entry here, holder update below) and no allocation. *)
+  let conflicting = ref [] in
+  List.iter
+    (fun (r, mode) ->
+      match Itbl.find_opt t.table r with
+      | None -> ()
+      | Some e ->
+        if not (Mode.mask_compatible mode ~held_mask:e.mask) then
+          List.iter
+            (fun h ->
+              if h.txn <> txn && not (Mode.compatible h.mode mode) then
+                conflicting := h.txn :: !conflicting)
+            e.holders)
+    requests;
+  match sort_uniq_ints !conflicting with
   | [] ->
-    List.iter (fun (r, mode) -> grant t ~txn r mode) requests;
+    (* Grant pass: all requests share [txn], so resolve its resource set
+       once instead of per grant. *)
+    let set = txn_set t txn in
+    List.iter
+      (fun (r, mode) ->
+        let e = entry t r in
+        (match find_holder e.holders txn mode with
+         | Some h -> h.count <- h.count + 1
+         | None ->
+           e.holders <- { txn; mode; count = 1 } :: e.holders;
+           e.mask <- e.mask lor Mode.bit mode);
+        t.grants <- t.grants + 1;
+        Itbl.replace set r ())
+      requests;
     Ok ()
   | blockers -> Error blockers
 
@@ -94,52 +187,57 @@ let release_request t ~txn requests =
   List.iter (fun (r, mode) -> ungrant t ~txn r mode) requests
 
 let release_txn t ~txn =
-  match Hashtbl.find_opt t.by_txn txn with
+  match Itbl.find_opt t.by_txn txn with
   | None -> []
   | Some set ->
     let freed = ref [] in
-    Hashtbl.iter
+    Itbl.iter
       (fun r () ->
-        match Hashtbl.find_opt t.table r with
+        match Itbl.find_opt t.table r with
         | None -> ()
         | Some e ->
-          let mine, others = List.partition (fun h -> h.txn = txn) !e in
+          let mine, others = List.partition (fun h -> h.txn = txn) e.holders in
           if mine <> [] then begin
             List.iter (fun h -> t.grants <- t.grants - h.count) mine;
             freed := r :: !freed;
-            if others = [] then Hashtbl.remove t.table r else e := others
+            if others = [] then Itbl.remove t.table r
+            else begin
+              e.holders <- others;
+              recompute_mask e
+            end
           end)
       set;
-    Hashtbl.remove t.by_txn txn;
+    Itbl.remove t.by_txn txn;
     !freed
 
 let holders t r =
-  match Hashtbl.find_opt t.table r with
+  match Itbl.find_opt t.table r with
   | None -> []
-  | Some e -> List.map (fun h -> (h.txn, h.mode)) !e
+  | Some e -> List.map (fun h -> (h.txn, h.mode)) e.holders
 
 let locks_of t ~txn =
-  match Hashtbl.find_opt t.by_txn txn with
+  match Itbl.find_opt t.by_txn txn with
   | None -> []
   | Some set ->
-    Hashtbl.fold
+    Itbl.fold
       (fun r () acc ->
-        match Hashtbl.find_opt t.table r with
+        match Itbl.find_opt t.table r with
         | None -> acc
         | Some e ->
           List.fold_left
             (fun acc h -> if h.txn = txn then (r, h.mode) :: acc else acc)
-            acc !e)
+            acc e.holders)
       set []
 
 let lock_count t = t.grants
 
 let txn_holds t ~txn r mode =
-  match Hashtbl.find_opt t.table r with
+  match Itbl.find_opt t.table r with
   | None -> false
-  | Some e -> List.exists (fun h -> h.txn = txn && h.mode = mode && h.count > 0) !e
+  | Some e ->
+    List.exists (fun h -> h.txn = txn && h.mode = mode && h.count > 0) e.holders
 
 let clear t =
-  Hashtbl.reset t.table;
-  Hashtbl.reset t.by_txn;
+  Itbl.reset t.table;
+  Itbl.reset t.by_txn;
   t.grants <- 0

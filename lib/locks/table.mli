@@ -1,9 +1,17 @@
 (** The lock table: who holds which mode on which resource.
 
-    A {e resource} is a (document, node) pair; which node-id space it refers
-    to depends on the protocol (XDGL locks DataGuide node ids, Node2PL locks
-    document node ids, Doc2PL locks the pseudo-node 0 of each document). The
-    table itself is protocol-agnostic.
+    A {e resource} is a (document, node, value option) triple; which node-id
+    space it refers to depends on the protocol (XDGL locks DataGuide node
+    ids, Node2PL locks document node ids, Doc2PL locks the pseudo-node 0 of
+    each document). The table itself is protocol-agnostic.
+
+    Internally a resource is a packed integer — document names and lock
+    values are interned ({!Dtx_util.Intern}) into small ids and packed with
+    the node id into one word — so the table is an int-keyed hashtable with
+    no polymorphic hashing or comparison on the grant path, and each entry
+    carries the bitmask union of its held modes so the common conflict-free
+    acquire is answered by a single AND ({!Mode.mask_compatible}) instead of
+    a holder-list scan.
 
     Acquisition is {e all-or-nothing} over a request list, matching
     Alg. 3: either every requested lock is granted, or none is recorded and
@@ -11,22 +19,34 @@
     edges). Re-acquiring a mode already held is counted, so releases on undo
     are balanced. *)
 
-type resource = {
-  doc : string;
-  node : int;
-  value : string option;
-      (** value dimension for XDGL's logical/value locks: [(node, Some v)]
-          resources are disjoint from [(node, None)] and from other values,
-          so predicate readers of one value never collide with writers of
-          another *)
-}
+type resource
+(** Packed (doc, node, value) key. Equality and polymorphic compare behave
+    like integer comparison; use the accessors below to recover the
+    components. The value dimension serves XDGL's logical/value locks:
+    [(node, Some v)] resources are disjoint from [(node, None)] and from
+    other values, so predicate readers of one value never collide with
+    writers of another. *)
 
 val resource : string -> int -> resource
-(** Plain structural resource ([value = None]). *)
+(** Plain structural resource (no value dimension). Node ids must fit 28
+    bits; at most 128 distinct document names and 2^24-1 distinct lock
+    values may be interned per process. @raise Invalid_argument beyond. *)
 
 val value_resource : string -> int -> string -> resource
 
+val resource_doc : resource -> string
+
+val resource_node : resource -> int
+
+val resource_value : resource -> string option
+
+val compare_resource : resource -> resource -> int
+
 val pp_resource : Format.formatter -> resource -> unit
+
+val dedup_requests : (resource * Mode.t) list -> (resource * Mode.t) list
+(** Sort and deduplicate a request list via single-int (resource, mode) keys
+    — the protocols' replacement for [List.sort_uniq compare] over records. *)
 
 type t
 

@@ -56,5 +56,5 @@ let requests doc (op : Op.t) =
         @ List.concat_map (subtree_with_ancestors doc Mode.X) (main_targets doc dest),
         navigation_cost doc source + navigation_cost doc dest )
   in
-  let retained = List.sort_uniq compare retained in
+  let retained = Table.dedup_requests retained in
   (retained, nav + List.length retained)

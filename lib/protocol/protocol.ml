@@ -23,13 +23,38 @@ let kind_of_string s =
   | "xdgl+vl" | "xdgl-vl" | "xdglvl" -> Some Xdgl_value
   | _ -> None
 
+(* Memoized XDGL lock derivation: the requests for an operation depend only
+   on the operation itself and the DataGuide's current state, so they are
+   cached per (doc, op) and validated against the guide's version counter.
+   Insert-family derivations may themselves extend the guide (ensure_path on
+   fresh label paths), so the version is sampled {e after} deriving: a later
+   identical call finds those nodes in place and reproduces the same set.
+   Value-lock derivation (XDGL+VL) also reads document text, which changes
+   without a DataGuide version bump, so only plain XDGL is cached. *)
+type cache_entry = {
+  c_version : int;
+  c_requests : (Table.resource * Mode.t) list;
+  c_processed : int;
+}
+
+let cache_capacity = 4096
+
 type t = {
   kind : kind;
   docs : (string, Doc.t) Hashtbl.t;
   guides : (string, Dg.t) Hashtbl.t;  (* populated for Xdgl only *)
+  derivations : (string * Op.t, cache_entry) Hashtbl.t;  (* Xdgl only *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
-let create kind = { kind; docs = Hashtbl.create 8; guides = Hashtbl.create 8 }
+let create kind =
+  { kind;
+    docs = Hashtbl.create 8;
+    guides = Hashtbl.create 8;
+    derivations = Hashtbl.create 256;
+    cache_hits = 0;
+    cache_misses = 0 }
 
 let kind t = t.kind
 
@@ -38,8 +63,14 @@ let name t = kind_to_string t.kind
 let add_doc t (doc : Doc.t) =
   Hashtbl.replace t.docs doc.Doc.name doc;
   match t.kind with
-  | Xdgl | Xdgl_value -> Hashtbl.replace t.guides doc.Doc.name (Dg.build doc)
+  | Xdgl | Xdgl_value ->
+    Hashtbl.replace t.guides doc.Doc.name (Dg.build doc);
+    (* A rebuilt guide restarts its version counter; drop every memo rather
+       than risk a stale entry whose version coincides. *)
+    Hashtbl.reset t.derivations
   | Node2pl | Doc2pl | Tadom -> ()
+
+let cache_stats t = (t.cache_hits, t.cache_misses)
 
 let doc t name = Hashtbl.find_opt t.docs name
 
@@ -54,9 +85,23 @@ let lock_requests t ~doc:doc_name op =
     | Xdgl -> (
       match Hashtbl.find_opt t.guides doc_name with
       | None -> Error (Printf.sprintf "XDGL: no DataGuide for %s" doc_name)
-      | Some dg ->
-        let requests = Xdgl_rules.requests dg op in
-        Ok (requests, List.length requests))
+      | Some dg -> (
+        let key = (doc_name, op) in
+        match Hashtbl.find_opt t.derivations key with
+        | Some ce when ce.c_version = Dg.version dg ->
+          t.cache_hits <- t.cache_hits + 1;
+          Ok (ce.c_requests, ce.c_processed)
+        | _ ->
+          t.cache_misses <- t.cache_misses + 1;
+          let requests = Xdgl_rules.requests dg op in
+          let processed = List.length requests in
+          if Hashtbl.length t.derivations >= cache_capacity then
+            Hashtbl.reset t.derivations;
+          Hashtbl.replace t.derivations key
+            { c_version = Dg.version dg;
+              c_requests = requests;
+              c_processed = processed };
+          Ok (requests, processed)))
     | Xdgl_value -> (
       match Hashtbl.find_opt t.guides doc_name with
       | None -> Error (Printf.sprintf "XDGL+VL: no DataGuide for %s" doc_name)

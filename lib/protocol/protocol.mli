@@ -60,6 +60,13 @@ val lock_requests :
     is unknown. An empty list is possible (the operation cannot touch
     anything here, e.g. its path matches nothing). *)
 
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the XDGL lock-derivation cache: {!lock_requests}
+    memoizes the request set per (doc, op) against the DataGuide's version
+    counter, so repeated operations over a stable guide skip the
+    ancestor/predicate re-walk. Non-XDGL kinds never consult the cache, so
+    both counters stay 0 for them. *)
+
 val note_applied : t -> doc:string -> Dtx_update.Exec.dg_delta list -> unit
 (** Maintain the protocol's lock-representation structure after an operation
     (or an undo) changed the document. No-op for Node2PL/Doc2PL. *)

@@ -73,5 +73,5 @@ let requests doc (op : Op.t) =
       @ predicate_locks doc source
       @ predicate_locks doc dest
   in
-  let retained = List.sort_uniq compare retained in
+  let retained = Table.dedup_requests retained in
   (retained, List.length retained)

@@ -107,4 +107,4 @@ let requests dg (op : Op.t) =
       @ predicate_locks dg source
       @ predicate_locks dg dest
   in
-  List.sort_uniq compare locks
+  Table.dedup_requests locks

@@ -160,4 +160,4 @@ let requests dg (doc : Doc.t) (op : Op.t) =
          locations' values exclusively. *)
       List.concat_map (subtree_value_locks dg) (Eval.select doc source)
   in
-  List.sort_uniq compare (base @ preds @ values)
+  Table.dedup_requests (base @ preds @ values)

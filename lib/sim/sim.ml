@@ -4,15 +4,21 @@ type event = {
   time : float;
   seq : int;
   action : unit -> unit;
+  mutable cancelled : bool;
 }
 
 type event_id = int
 
+(* [live] maps the seq of every still-queued event to the event itself, so
+   cancel can mark the event in place and a cancel aimed at an already-fired
+   (or unknown) id is a true no-op — nothing is ever retained for ids that
+   are no longer in the queue. *)
 type t = {
   mutable clock : float;
   mutable next_seq : int;
   queue : event Heap.t;
-  cancelled : (int, unit) Hashtbl.t;
+  live : (int, event) Hashtbl.t;
+  mutable cancelled_pending : int;
 }
 
 let cmp_event a b =
@@ -23,7 +29,8 @@ let create () =
   { clock = 0.0;
     next_seq = 0;
     queue = Heap.create ~cmp:cmp_event;
-    cancelled = Hashtbl.create 16 }
+    live = Hashtbl.create 16;
+    cancelled_pending = 0 }
 
 let now t = t.clock
 
@@ -31,14 +38,23 @@ let schedule_at t ~time action =
   let time = if time < t.clock then t.clock else time in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  Heap.push t.queue { time; seq; action };
+  let ev = { time; seq; action; cancelled = false } in
+  Heap.push t.queue ev;
+  Hashtbl.replace t.live seq ev;
   seq
 
 let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) action
 
-let cancel t id = Hashtbl.replace t.cancelled id ()
+let cancel t id =
+  match Hashtbl.find_opt t.live id with
+  | Some ev when not ev.cancelled ->
+    ev.cancelled <- true;
+    t.cancelled_pending <- t.cancelled_pending + 1
+  | Some _ | None -> ()
+
+let cancelled_backlog t = t.cancelled_pending
 
 let rec every t ~period ?start f =
   if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
@@ -50,7 +66,8 @@ let pending t = Heap.length t.queue
 
 let fire t ev =
   t.clock <- ev.time;
-  if Hashtbl.mem t.cancelled ev.seq then Hashtbl.remove t.cancelled ev.seq
+  Hashtbl.remove t.live ev.seq;
+  if ev.cancelled then t.cancelled_pending <- t.cancelled_pending - 1
   else ev.action ()
 
 let step t =

@@ -29,7 +29,14 @@ val schedule_at : t -> time:float -> (unit -> unit) -> event_id
 
 val cancel : t -> event_id -> unit
 (** [cancel sim id] prevents a pending event from firing; cancelling an
-    already-fired or unknown event is a no-op. *)
+    already-fired or unknown event is a no-op that retains no state (a
+    cancellation mark lives only as long as the event sits in the queue). *)
+
+val cancelled_backlog : t -> int
+(** Number of still-queued events marked cancelled — bookkeeping the
+    simulator currently retains for cancellations. Drops back to zero once
+    those events' times pass; cancels aimed at fired or unknown ids never
+    contribute. Exposed for leak regression tests. *)
 
 val every : t -> period:float -> ?start:float -> (unit -> bool) -> unit
 (** [every sim ~period f] runs [f] at [start] (default [period]) and then

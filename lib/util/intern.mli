@@ -1,0 +1,27 @@
+(** String interning: a bijective symbol table mapping strings to dense small
+    ints, so hot paths can key hashtables and compare identifiers with plain
+    integer arithmetic instead of polymorphic hashing over strings.
+
+    Ids are assigned in first-come order starting at 0 and are never
+    reclaimed — an interner is meant for low-cardinality name spaces
+    (document names, lock values), bounded by [max_ids]. *)
+
+type t
+
+val create : ?max_ids:int -> string -> t
+(** [create what] makes an empty table; [what] names the symbol space in
+    error messages. [max_ids] (default unbounded) caps how many distinct
+    symbols may be interned — needed when ids are packed into bit fields. *)
+
+val intern : t -> string -> int
+(** Id of [s], allocating the next dense id on first sight.
+    @raise Invalid_argument when a fresh symbol would exceed [max_ids]. *)
+
+val find_opt : t -> string -> int option
+(** Id of [s] if already interned, without allocating. *)
+
+val lookup : t -> int -> string
+(** Inverse of {!intern}. @raise Invalid_argument on an unallocated id. *)
+
+val count : t -> int
+(** Number of distinct symbols interned so far. *)

@@ -96,6 +96,27 @@ let test_match_root () =
   check "root by absolute path" 1 (List.length (Dg.match_path dg (P.parse "/people")));
   check "root by //" 1 (List.length (Dg.match_path dg (P.parse "//people")))
 
+let test_version_counter () =
+  let dg = Dg.build (sample ()) in
+  let v0 = Dg.version dg in
+  (* Read-only operations leave the version alone. *)
+  ignore (Dg.find_path dg [ "people"; "person" ]);
+  ignore (Dg.match_path dg (P.parse "/people/person/name"));
+  check "reads do not bump" v0 (Dg.version dg);
+  ignore (Dg.add_instance dg [ "people"; "person" ]);
+  checkb "add_instance bumps" true (Dg.version dg > v0);
+  let v1 = Dg.version dg in
+  Dg.remove_instance dg [ "people"; "person" ];
+  checkb "remove_instance bumps" true (Dg.version dg > v1);
+  let v2 = Dg.version dg in
+  ignore (Dg.ensure_path dg [ "people"; "brand_new" ]);
+  checkb "node creation bumps" true (Dg.version dg > v2);
+  let v3 = Dg.version dg in
+  ignore (Dg.ensure_path dg [ "people"; "brand_new" ]);
+  check "ensure of existing path does not bump" v3 (Dg.version dg);
+  ignore (Dg.prune dg);
+  checkb "prune of empty husks bumps" true (Dg.version dg > v3)
+
 let test_prune () =
   let dg = Dg.build (sample ()) in
   ignore (Dg.ensure_path dg [ "people"; "a"; "b"; "c" ]);
@@ -161,7 +182,8 @@ let () =
       ( "maintenance",
         [ Alcotest.test_case "add/remove instance" `Quick test_add_remove_instance;
           Alcotest.test_case "subtree add/remove" `Quick test_subtree_maintenance;
-          Alcotest.test_case "prune" `Quick test_prune ] );
+          Alcotest.test_case "prune" `Quick test_prune;
+          Alcotest.test_case "version counter" `Quick test_version_counter ] );
       ( "matching",
         [ Alcotest.test_case "ancestors/label path" `Quick test_ancestors_and_label_path;
           Alcotest.test_case "match_path" `Quick test_match_path;

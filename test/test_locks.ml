@@ -62,6 +62,63 @@ let test_intention_for () =
   checkb "IS -> IS" true (Mode.intention_for Mode.IS = Mode.IS);
   checkb "IX -> IX" true (Mode.intention_for Mode.IX = Mode.IX)
 
+let test_conflict_mask_matches_compat () =
+  (* The bitmask encoding must agree with the pattern-match matrix on every
+     ordered pair — this is what lets the table answer compatibility with
+     one AND. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let via_mask = Mode.conflict_mask a land Mode.bit b <> 0 in
+          checkb
+            (Printf.sprintf "mask %s/%s" (Mode.to_string a) (Mode.to_string b))
+            (not (Mode.compatible a b)) via_mask;
+          checkb
+            (Printf.sprintf "mask_compatible %s/%s" (Mode.to_string a)
+               (Mode.to_string b))
+            (Mode.compatible a b)
+            (Mode.mask_compatible a ~held_mask:(Mode.bit b)))
+        Mode.all)
+    Mode.all
+
+let test_conflict_mask_symmetric () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          checkb
+            (Printf.sprintf "mask symmetry %s/%s" (Mode.to_string a)
+               (Mode.to_string b))
+            (Mode.conflict_mask a land Mode.bit b <> 0)
+            (Mode.conflict_mask b land Mode.bit a <> 0))
+        Mode.all)
+    Mode.all
+
+let test_mode_index_bit () =
+  List.iter
+    (fun m ->
+      checkb "of_index inverse" true (Mode.of_index (Mode.index m) = m);
+      check "bit is power of two" (1 lsl Mode.index m) (Mode.bit m))
+    Mode.all;
+  (* Indexes are dense and distinct. *)
+  Alcotest.(check (list int))
+    "dense indexes"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare (List.map Mode.index Mode.all))
+
+let test_mask_union_semantics () =
+  (* mask_compatible over a union mask == compatible with every member. *)
+  let held = [ Mode.IS; Mode.SI; Mode.IX ] in
+  let mask = List.fold_left (fun m h -> m lor Mode.bit h) 0 held in
+  List.iter
+    (fun m ->
+      checkb
+        (Printf.sprintf "union semantics %s" (Mode.to_string m))
+        (List.for_all (fun h -> Mode.compatible h m) held)
+        (Mode.mask_compatible m ~held_mask:mask))
+    Mode.all
+
 let test_mode_strings () =
   List.iter
     (fun m ->
@@ -74,6 +131,39 @@ let test_mode_strings () =
 (* --- Table --------------------------------------------------------------- *)
 
 let r doc node = Table.resource doc node
+
+let test_resource_accessors () =
+  let a = Table.resource "docA" 17 in
+  Alcotest.(check string) "doc" "docA" (Table.resource_doc a);
+  check "node" 17 (Table.resource_node a);
+  checkb "no value" true (Table.resource_value a = None);
+  let v = Table.value_resource "docA" 17 "42" in
+  Alcotest.(check string) "vdoc" "docA" (Table.resource_doc v);
+  check "vnode" 17 (Table.resource_node v);
+  checkb "value" true (Table.resource_value v = Some "42");
+  checkb "value resource distinct" true (Table.compare_resource a v <> 0);
+  checkb "same triple same key" true
+    (Table.compare_resource v (Table.value_resource "docA" 17 "42") = 0);
+  checkb "other value distinct" true
+    (Table.compare_resource v (Table.value_resource "docA" 17 "43") <> 0);
+  check "node id bound rejected" 1
+    (try ignore (Table.resource "d" (1 lsl 28)); 0
+     with Invalid_argument _ -> 1)
+
+let test_dedup_requests () =
+  let reqs =
+    [ (r "d" 2, Mode.IS); (r "d" 1, Mode.ST); (r "d" 2, Mode.IS);
+      (r "d" 1, Mode.X); (r "d" 1, Mode.ST) ]
+  in
+  let deduped = Table.dedup_requests reqs in
+  check "three distinct requests" 3 (List.length deduped);
+  checkb "sorted by resource" true
+    (deduped
+     |> List.map (fun (r, _) -> Table.resource_node r)
+     |> fun l -> List.sort compare l = l);
+  List.iter
+    (fun req -> checkb "kept" true (List.mem req deduped))
+    [ (r "d" 2, Mode.IS); (r "d" 1, Mode.ST); (r "d" 1, Mode.X) ]
 
 let test_acquire_release () =
   let t = Table.create () in
@@ -157,6 +247,158 @@ let prop_release_after_acquire_empty =
        | Error _ -> failwith "self conflict impossible");
       ignore (Table.release_txn t ~txn:1);
       Table.lock_count t = 0)
+
+(* --- Differential oracle ------------------------------------------------- *)
+
+(* The pre-optimization lock table, verbatim semantics: resources are plain
+   records hashed polymorphically, compatibility is answered by scanning the
+   holder list. Randomized traces must produce identical grant/block
+   outcomes, blocker sets, lock counts and freed-resource sets in the
+   optimized (interned, bitmasked) table. *)
+module Oracle = struct
+  type res = { o_doc : string; o_node : int; o_value : string option }
+
+  type holder = { h_txn : int; h_mode : Mode.t; mutable h_count : int }
+
+  type t = { table : (res, holder list ref) Hashtbl.t; mutable grants : int }
+
+  let create () = { table = Hashtbl.create 64; grants = 0 }
+
+  let conflicts_on t ~txn r mode =
+    match Hashtbl.find_opt t.table r with
+    | None -> []
+    | Some e ->
+      List.filter_map
+        (fun h ->
+          if h.h_txn <> txn && not (Mode.compatible h.h_mode mode) then
+            Some h.h_txn
+          else None)
+        !e
+
+  let grant t ~txn r mode =
+    let e =
+      match Hashtbl.find_opt t.table r with
+      | Some e -> e
+      | None ->
+        let e = ref [] in
+        Hashtbl.replace t.table r e;
+        e
+    in
+    (match List.find_opt (fun h -> h.h_txn = txn && h.h_mode = mode) !e with
+     | Some h -> h.h_count <- h.h_count + 1
+     | None -> e := { h_txn = txn; h_mode = mode; h_count = 1 } :: !e);
+    t.grants <- t.grants + 1
+
+  let ungrant t ~txn r mode =
+    match Hashtbl.find_opt t.table r with
+    | None -> ()
+    | Some e -> (
+      match List.find_opt (fun h -> h.h_txn = txn && h.h_mode = mode) !e with
+      | None -> ()
+      | Some h ->
+        h.h_count <- h.h_count - 1;
+        t.grants <- t.grants - 1;
+        if h.h_count = 0 then begin
+          e := List.filter (fun h' -> not (h' == h)) !e;
+          if !e = [] then Hashtbl.remove t.table r
+        end)
+
+  let acquire_all t ~txn requests =
+    let conflicting =
+      List.concat_map (fun (r, mode) -> conflicts_on t ~txn r mode) requests
+    in
+    match List.sort_uniq compare conflicting with
+    | [] ->
+      List.iter (fun (r, mode) -> grant t ~txn r mode) requests;
+      Ok ()
+    | blockers -> Error blockers
+
+  let release_request t ~txn requests =
+    List.iter (fun (r, mode) -> ungrant t ~txn r mode) requests
+
+  let release_txn t ~txn =
+    let freed = ref [] in
+    Hashtbl.iter
+      (fun r e ->
+        if List.exists (fun h -> h.h_txn = txn) !e then freed := r :: !freed)
+      t.table;
+    List.iter
+      (fun r ->
+        match Hashtbl.find_opt t.table r with
+        | None -> ()
+        | Some e ->
+          let mine, others = List.partition (fun h -> h.h_txn = txn) !e in
+          List.iter (fun h -> t.grants <- t.grants - h.h_count) mine;
+          if others = [] then Hashtbl.remove t.table r else e := others)
+      !freed;
+    !freed
+
+  let lock_count t = t.grants
+end
+
+(* One trace step: (selector, txn, [(node, mode idx, value selector)]). *)
+let cmd_gen =
+  QCheck.(
+    triple (int_range 0 3) (int_range 1 4)
+      (list_of_size Gen.(1 -- 6)
+         (triple (int_range 0 7) (int_range 0 7) (int_range 0 2))))
+
+let oracle_res (node, _, vsel) =
+  let doc = if node land 1 = 0 then "oda" else "odb" in
+  match vsel with
+  | 0 -> { Oracle.o_doc = doc; o_node = node; o_value = None }
+  | v -> { Oracle.o_doc = doc; o_node = node; o_value = Some (string_of_int v) }
+
+let table_res (node, _, vsel) =
+  let doc = if node land 1 = 0 then "oda" else "odb" in
+  match vsel with
+  | 0 -> Table.resource doc node
+  | v -> Table.value_resource doc node (string_of_int v)
+
+let res_triple r =
+  (Table.resource_doc r, Table.resource_node r, Table.resource_value r)
+
+let oracle_triple (r : Oracle.res) = (r.Oracle.o_doc, r.Oracle.o_node, r.Oracle.o_value)
+
+let mode_of (_, mi, _) = List.nth Mode.all mi
+
+let prop_differential_vs_oracle =
+  QCheck.Test.make ~name:"optimized table behaves like pre-optimization oracle"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) cmd_gen)
+    (fun cmds ->
+      let t = Table.create () in
+      let o = Oracle.create () in
+      List.for_all
+        (fun (sel, txn, reqs) ->
+          let t_reqs = List.map (fun q -> (table_res q, mode_of q)) reqs in
+          let o_reqs = List.map (fun q -> (oracle_res q, mode_of q)) reqs in
+          let step_ok =
+            match sel with
+            | 0 | 1 -> (
+              (* acquire (twice as likely as the release variants) *)
+              match
+                (Table.acquire_all t ~txn t_reqs, Oracle.acquire_all o ~txn o_reqs)
+              with
+              | Ok (), Ok () -> true
+              | Error a, Error b -> a = b
+              | _ -> false)
+            | 2 ->
+              Table.release_request t ~txn t_reqs;
+              Oracle.release_request o ~txn o_reqs;
+              true
+            | _ ->
+              let freed_t =
+                Table.release_txn t ~txn |> List.map res_triple |> List.sort compare
+              in
+              let freed_o =
+                Oracle.release_txn o ~txn
+                |> List.map oracle_triple |> List.sort compare
+              in
+              freed_t = freed_o
+          in
+          step_ok && Table.lock_count t = Oracle.lock_count o)
+        cmds)
 
 (* --- Wfg ----------------------------------------------------------------- *)
 
@@ -280,16 +522,26 @@ let () =
           Alcotest.test_case "shared family" `Quick test_shared_family_compatible;
           Alcotest.test_case "SI/SA/SB vs ST" `Quick test_insert_shared_vs_tree;
           Alcotest.test_case "intention_for" `Quick test_intention_for;
+          Alcotest.test_case "conflict mask = compat (64 pairs)" `Quick
+            test_conflict_mask_matches_compat;
+          Alcotest.test_case "conflict mask symmetric" `Quick
+            test_conflict_mask_symmetric;
+          Alcotest.test_case "index/bit encoding" `Quick test_mode_index_bit;
+          Alcotest.test_case "mask union semantics" `Quick
+            test_mask_union_semantics;
           Alcotest.test_case "strings" `Quick test_mode_strings ] );
       ( "table",
-        [ Alcotest.test_case "acquire/release" `Quick test_acquire_release;
+        [ Alcotest.test_case "resource accessors" `Quick test_resource_accessors;
+          Alcotest.test_case "dedup requests" `Quick test_dedup_requests;
+          Alcotest.test_case "acquire/release" `Quick test_acquire_release;
           Alcotest.test_case "conflicts reported" `Quick test_conflict_reported;
           Alcotest.test_case "all-or-nothing" `Quick test_all_or_nothing;
           Alcotest.test_case "self never conflicts" `Quick test_own_locks_never_conflict;
           Alcotest.test_case "refcounted" `Quick test_refcounted_grants;
           Alcotest.test_case "blockers sorted" `Quick test_multiple_blockers_sorted;
           Alcotest.test_case "doc namespaces" `Quick test_resources_namespaced_by_doc;
-          QCheck_alcotest.to_alcotest prop_release_after_acquire_empty ] );
+          QCheck_alcotest.to_alcotest prop_release_after_acquire_empty;
+          QCheck_alcotest.to_alcotest prop_differential_vs_oracle ] );
       ( "wfg",
         [ Alcotest.test_case "edges" `Quick test_wfg_edges;
           Alcotest.test_case "no cycle" `Quick test_wfg_no_cycle;

@@ -32,7 +32,7 @@ let mode_on dg requests labels =
   | None -> []
   | Some n ->
     List.filter_map
-      (fun ((r : Table.resource), m) -> if r.Table.node = n.Dg.dg_id then Some m else None)
+      (fun ((r : Table.resource), m) -> if Table.resource_node r = n.Dg.dg_id then Some m else None)
       requests
     |> List.sort_uniq compare
 
@@ -319,7 +319,7 @@ let test_value_locks_disjoint_readers () =
    | Error _ -> Alcotest.fail "reader 14 locks");
   (* Both hold value-ST on different values of the same id node. *)
   checkb "value resources used" true
-    (List.exists (fun ((r : Table.resource), _) -> r.Table.value = Some "4") r4)
+    (List.exists (fun ((r : Table.resource), _) -> Table.resource_value r = Some "4") r4)
 
 let test_value_locks_same_value_conflict () =
   (* A change that rewrites a price to "9.99" conflicts with a predicate
@@ -360,7 +360,7 @@ let test_value_locks_superset_of_base () =
         List.for_all
           (fun ((r : Table.resource), m) ->
             (* every non-value exclusive lock of the base set is present *)
-            r.Table.value <> None
+            Table.resource_value r <> None
             || List.exists
                  (fun ((r' : Table.resource), m') -> r' = r && m' = m)
                  value
@@ -379,7 +379,7 @@ let test_value_protocol_in_facade () =
   (match Protocol.lock_requests p ~doc:"d2" (Op.Query (P.parse "//product[id = \"4\"]")) with
    | Ok (reqs, _) ->
      checkb "value resource present" true
-       (List.exists (fun ((r : Table.resource), _) -> r.Table.value <> None) reqs)
+       (List.exists (fun ((r : Table.resource), _) -> Table.resource_value r <> None) reqs)
    | Error e -> Alcotest.fail e);
   checkb "kind string" true
     (Protocol.kind_of_string "xdgl+vl" = Some Protocol.Xdgl_value)
@@ -411,7 +411,7 @@ let test_doc2pl_whole_document () =
   let p = Protocol.create Protocol.Doc2pl in
   Protocol.add_doc p (store ());
   (match Protocol.lock_requests p ~doc:"d2" (Op.Query (P.parse "//price")) with
-   | Ok ([ (r, Mode.ST) ], 1) -> check "pseudo node" 0 r.Table.node
+   | Ok ([ (r, Mode.ST) ], 1) -> check "pseudo node" 0 (Table.resource_node r)
    | _ -> Alcotest.fail "expected single ST");
   match
     Protocol.lock_requests p ~doc:"d2"
@@ -419,6 +419,69 @@ let test_doc2pl_whole_document () =
   with
   | Ok ([ (_, Mode.X) ], 1) -> ()
   | _ -> Alcotest.fail "expected single X"
+
+let test_derivation_cache () =
+  let p = Protocol.create Protocol.Xdgl in
+  Protocol.add_doc p (store ());
+  let q = Op.Query (P.parse "/products/product[id = \"4\"]/price") in
+  let first =
+    match Protocol.lock_requests p ~doc:"d2" q with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  checkb "first call misses" true (Protocol.cache_stats p = (0, 1));
+  let second =
+    match Protocol.lock_requests p ~doc:"d2" q with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  checkb "second call hits" true (Protocol.cache_stats p = (1, 1));
+  checkb "cached result identical" true (first = second);
+  (* A DataGuide mutation must invalidate: the version bump makes the memo
+     stale and the rederivation covers the new label path. *)
+  Protocol.note_applied p ~doc:"d2" [ Exec.Dg_add [ "products"; "warranty" ] ];
+  (match Protocol.lock_requests p ~doc:"d2" q with
+   | Ok r ->
+     checkb "stale entry not served" true (Protocol.cache_stats p = (1, 2));
+     checkb "rederivation matches fresh rules" true (first = r)
+   | Error e -> Alcotest.fail e);
+  (* Distinct op shapes cache independently. *)
+  (match Protocol.lock_requests p ~doc:"d2" (Op.Query (P.parse "//price")) with
+   | Ok _ -> checkb "new shape misses" true (Protocol.cache_stats p = (1, 3))
+   | Error e -> Alcotest.fail e);
+  (* Non-XDGL kinds bypass the cache entirely. *)
+  let n = Protocol.create Protocol.Node2pl in
+  Protocol.add_doc n (store ());
+  (match Protocol.lock_requests n ~doc:"d2" q with
+   | Ok _ -> checkb "node2pl uncached" true (Protocol.cache_stats n = (0, 0))
+   | Error e -> Alcotest.fail e)
+
+let test_derivation_cache_insert_ensures_paths () =
+  (* Insert derivation extends the DataGuide with the fragment's landing
+     path (count 0); the memo is taken at the post-extension version, so a
+     repeat of the same insert both hits and still names the same nodes. *)
+  let p = Protocol.create Protocol.Xdgl in
+  Protocol.add_doc p (store ());
+  let ins =
+    Op.Insert
+      { target = P.parse "/products/product"; pos = Op.Into;
+        fragment = "<warranty>2y</warranty>" }
+  in
+  let first =
+    match Protocol.lock_requests p ~doc:"d2" ins with
+    | Ok (r, _) -> r
+    | Error e -> Alcotest.fail e
+  in
+  (match Protocol.lock_requests p ~doc:"d2" ins with
+   | Ok (r, _) ->
+     checkb "repeat insert hits" true (fst (Protocol.cache_stats p) = 1);
+     checkb "same request set" true (first = r)
+   | Error e -> Alcotest.fail e);
+  let dg =
+    match Protocol.dataguide p "d2" with Some dg -> dg | None -> assert false
+  in
+  checkb "landing path ensured" true
+    (Dg.find_path dg [ "products"; "product"; "warranty" ] <> None)
 
 let test_structure_sizes () =
   let doc = Generator.generate (Generator.params_of_nodes 800) in
@@ -524,7 +587,7 @@ let covered_exclusively dg requests labels =
       | Some n ->
         List.exists
           (fun ((r : Table.resource), m) ->
-            r.Table.node = n.Dg.dg_id
+            Table.resource_node r = n.Dg.dg_id
             && (m = Mode.XT || (m = Mode.X && k = full_len)))
           requests)
     (prefixes [] 1)
@@ -610,5 +673,8 @@ let () =
           Alcotest.test_case "unknown doc" `Quick test_facade_unknown_doc;
           Alcotest.test_case "doc2pl" `Quick test_doc2pl_whole_document;
           Alcotest.test_case "structure sizes" `Quick test_structure_sizes;
+          Alcotest.test_case "derivation cache" `Quick test_derivation_cache;
+          Alcotest.test_case "cache vs insert ensure_path" `Quick
+            test_derivation_cache_insert_ensures_paths;
           Alcotest.test_case "note_applied" `Quick test_note_applied_maintains_dataguide;
           Alcotest.test_case "kind strings" `Quick test_kind_strings ] ) ]

@@ -64,6 +64,35 @@ let test_cancel () =
   (* Cancelling twice or after drain is harmless. *)
   Sim.cancel sim id
 
+let test_cancel_no_leak () =
+  (* Regression: a cancel aimed at an already-fired (or never-firing) event
+     used to park its id in the cancelled table forever. *)
+  let sim = Sim.create () in
+  let id = Sim.schedule sim ~delay:1.0 (fun () -> ()) in
+  Sim.run sim;
+  Sim.cancel sim id;
+  (* fired: no-op, nothing retained *)
+  check "no backlog after cancelling fired event" 0 (Sim.cancelled_backlog sim);
+  let foreign =
+    let other = Sim.create () in
+    let last = ref None in
+    for _ = 1 to 5 do
+      last := Some (Sim.schedule other ~delay:1.0 (fun () -> ()))
+    done;
+    Option.get !last
+  in
+  Sim.cancel sim foreign;
+  (* id unknown to this simulator: no-op, nothing retained *)
+  check "no backlog after cancelling unknown id" 0 (Sim.cancelled_backlog sim);
+  let id2 = Sim.schedule sim ~delay:1.0 (fun () -> Alcotest.fail "cancelled") in
+  Sim.cancel sim id2;
+  check "one pending cancellation" 1 (Sim.cancelled_backlog sim);
+  Sim.cancel sim id2;
+  (* double cancel counted once *)
+  check "double cancel counted once" 1 (Sim.cancelled_backlog sim);
+  Sim.run sim;
+  check "backlog drained with the queue" 0 (Sim.cancelled_backlog sim)
+
 let test_run_until () =
   let sim = Sim.create () in
   let count = ref 0 in
@@ -136,6 +165,7 @@ let () =
           Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
           Alcotest.test_case "schedule_at clamps" `Quick test_schedule_at_past_clamps;
           Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel leaks nothing" `Quick test_cancel_no_leak;
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "max events" `Quick test_max_events;
           Alcotest.test_case "step" `Quick test_step ] );
