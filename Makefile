@@ -2,9 +2,10 @@
 # (ocamlformat is not pinned in this environment, so formatting is not
 # part of the gate; add it here if/when the binary is available.)
 
-.PHONY: check build test bench bench-smoke bench-json clean
+.PHONY: check build test bench bench-smoke bench-json analyze analyze-smoke \
+	analyze-mutations clean
 
-check: build test bench-smoke
+check: build test bench-smoke analyze-smoke
 
 build:
 	dune build
@@ -23,6 +24,23 @@ bench-smoke:
 # Machine-readable perf snapshot (micro ns/run + fig9-quick workload numbers).
 bench-json:
 	dune exec bench/main.exe -- json
+
+# Invariant analyzer (Dtx_check): seeded workloads under every protocol with
+# the serializability / S2PL / FSM / deadlock checker attached. Exits
+# non-zero on the first violation.
+analyze:
+	dune exec bin/dtx_cli.exe -- analyze
+
+# Tiny single-seed analyzer pass — part of `make check`.
+analyze-smoke:
+	dune exec bin/dtx_cli.exe -- analyze --smoke
+
+# The checker's self-test: each seeded trace mutation must make the
+# analyzer fail. `!` inverts, so this target fails if a mutation slips by.
+analyze-mutations:
+	! dune exec bin/dtx_cli.exe -- analyze --mutate compat-flip
+	! dune exec bin/dtx_cli.exe -- analyze --mutate skip-release
+	! dune exec bin/dtx_cli.exe -- analyze --mutate commit-reorder
 
 clean:
 	dune clean

@@ -277,6 +277,181 @@ let workload_cmd =
     Term.(const run $ protocol_arg $ clients $ sites $ txns $ ops $ upd $ mb
           $ seed $ total $ retries $ two_phase $ wan $ policy)
 
+(* --- analyze ----------------------------------------------------------------*)
+
+module Checker = Dtx_check.Checker
+module Lattice = Dtx_check.Lattice
+
+(* Seeded trace mutations for the checker's self-test: each hides one event
+   from the analyzer (never from the actual run), so a healthy execution is
+   presented with an unhealthy trace — which the analyzer must reject. *)
+type mutation = Compat_flip | Skip_release | Commit_reorder
+
+let mutation_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.lowercase_ascii s with
+        | "compat-flip" -> Ok Compat_flip
+        | "skip-release" -> Ok Skip_release
+        | "commit-reorder" -> Ok Commit_reorder
+        | other -> Error (`Msg ("unknown mutation " ^ other))),
+      fun ppf m ->
+        Format.pp_print_string ppf
+          (match m with
+           | Compat_flip -> "compat-flip"
+           | Skip_release -> "skip-release"
+           | Commit_reorder -> "commit-reorder") )
+
+let mutation_tap = function
+  | None | Some Compat_flip -> None
+  | Some Skip_release ->
+    (* Hide one end-of-transaction lock release: the lock-balance mirror
+       must see the transaction finish still holding it. *)
+    let armed = ref true in
+    Some
+      (fun ev ->
+        match ev with
+        | Checker.Lock { ev = Table.Released { kind = Table.End_of_txn; _ }; _ }
+          when !armed ->
+          armed := false;
+          None
+        | _ -> Some ev)
+  | Some Commit_reorder ->
+    (* Hide the delivery of one yes vote: the later Commit now precedes a
+       complete prepare round, which the 2PC-order check must flag. *)
+    let armed = ref true in
+    Some
+      (fun ev ->
+        match ev with
+        | Checker.Net
+            { dir = Dtx_net.Net.Deliver;
+              msg = Dtx_net.Msg.Vote { ok = true; _ };
+              _
+            }
+          when !armed ->
+          armed := false;
+          None
+        | _ -> Some ev)
+
+let check_lattice ~flip =
+  let result =
+    if flip then
+      (* One compatibility cell flipped (the paper's key conflict, Fig. 6):
+         the derived masks and the matrix now disagree. *)
+      let compat a b =
+        match (a, b) with
+        | (Mode.ST, Mode.IX) | (Mode.IX, Mode.ST) -> true
+        | _ -> Mode.compatible a b
+      in
+      Lattice.check_with ~compat ~conflict_mask:Mode.conflict_mask
+        ~intention_for:Mode.intention_for ()
+    else Lattice.check ()
+  in
+  match result with
+  | Ok () ->
+    print_endline "mode-lattice: ok (64 pairs, masks, hierarchy)";
+    true
+  | Error msgs ->
+    Printf.printf "mode-lattice: %d violation(s)\n" (List.length msgs);
+    List.iter (fun m -> Printf.printf "  [mode-lattice] %s\n" m) msgs;
+    false
+
+let analyze_cmd =
+  let seeds =
+    Arg.(value & opt (list int) [ 7; 107 ] & info [ "seeds" ] ~docv:"SEEDS"
+           ~doc:"Comma-separated workload seeds.")
+  in
+  let clients = Arg.(value & opt int 12 & info [ "clients" ] ~doc:"Number of clients.") in
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~doc:"Number of sites.") in
+  let txns = Arg.(value & opt int 4 & info [ "txns" ] ~doc:"Transactions per client.") in
+  let ops = Arg.(value & opt int 5 & info [ "ops" ] ~doc:"Operations per transaction.") in
+  let upd = Arg.(value & opt int 30 & info [ "update-pct" ] ~doc:"Percent update transactions.") in
+  let mb = Arg.(value & opt float 4.0 & info [ "mb" ] ~doc:"Base size in paper-MB.") in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"Tiny single-seed configuration (the make-check gate).")
+  in
+  let mutate =
+    Arg.(value & opt (some mutation_conv) None & info [ "mutate" ] ~docv:"MUT"
+           ~doc:"Checker self-test: compat-flip, skip-release or \
+                 commit-reorder. Runs a small configuration whose trace is \
+                 mutated before analysis; the run must then FAIL.")
+  in
+  let ring =
+    Arg.(value & opt int 256 & info [ "ring" ]
+           ~doc:"Trace ring-buffer capacity (violation suffix length).")
+  in
+  let run seeds clients sites txns ops upd mb smoke mutate ring =
+    let clients, sites, txns, ops, mb, seeds =
+      if smoke || mutate <> None then
+        (6, 3, 3, 4, 2.0, [ List.nth_opt seeds 0 |> Option.value ~default:7 ])
+      else (clients, sites, txns, ops, mb, seeds)
+    in
+    (match mutate with
+     | Some Compat_flip ->
+       (* Only the static lattice check is involved in this mutation. *)
+       exit (if check_lattice ~flip:true then 0 else 1)
+     | _ -> if not (check_lattice ~flip:false) then exit 1);
+    let base =
+      { Workload.default_params with
+        n_clients = clients; n_sites = sites; txns_per_client = txns;
+        ops_per_txn = ops; update_txn_pct = upd; base_size_mb = mb }
+    in
+    let configs =
+      match mutate with
+      | Some Skip_release -> [ (Protocol.Xdgl, false) ]
+      | Some Commit_reorder -> [ (Protocol.Xdgl, true) ]
+      | _ ->
+        [ (Protocol.Xdgl, false); (Protocol.Xdgl_value, false);
+          (Protocol.Node2pl, false); (Protocol.Tadom, false);
+          (Protocol.Xdgl, true) ]
+    in
+    let failed = ref false in
+    List.iter
+      (fun seed ->
+        List.iter
+          (fun (proto, two_phase) ->
+            if not !failed then begin
+              let p =
+                { base with seed; protocol = proto;
+                  two_phase_commit = two_phase }
+              in
+              let label =
+                Printf.sprintf "%s%s seed=%d" (Protocol.kind_to_string proto)
+                  (if two_phase then "+2pc" else "")
+                  seed
+              in
+              let checker = Checker.create ~ring () in
+              let r =
+                Workload.run
+                  ~instrument:(fun cluster ->
+                    Checker.attach ?mutate:(mutation_tap mutate) checker
+                      cluster)
+                  p
+              in
+              match Checker.finish checker with
+              | [] ->
+                Format.printf
+                  "%-22s ok: %d committed, %d aborted, %d deadlock(s)@." label
+                  r.Workload.committed r.Workload.aborted r.Workload.deadlocks
+              | vs ->
+                failed := true;
+                Format.printf "%-22s %d violation(s):@." label (List.length vs);
+                List.iter
+                  (fun v -> Format.printf "%a@." Checker.pp_violation v)
+                  vs
+            end)
+          configs)
+      seeds;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run seeded workloads under every protocol with the invariant \
+             checker attached; exit non-zero on the first violation.")
+    Term.(const run $ seeds $ clients $ sites $ txns $ ops $ upd $ mb $ smoke
+          $ mutate $ ring)
+
 (* --- experiment -------------------------------------------------------------*)
 
 let experiment_cmd =
@@ -311,4 +486,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; query_cmd; update_cmd; txn_cmd; dataguide_cmd;
-            locks_cmd; workload_cmd; experiment_cmd ]))
+            locks_cmd; workload_cmd; analyze_cmd; experiment_cmd ]))

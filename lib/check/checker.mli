@@ -1,0 +1,87 @@
+(** Online trace analyzer for DTX runs.
+
+    A checker attaches to a {!Dtx.Cluster} by installing the trace sinks
+    the instrumented layers expose (lock table, network, coordinator FSM,
+    participants, simulator clock) and mirrors just enough state to verify,
+    while the simulation runs:
+
+    - {b s2pl-discipline} — no lock acquired after a transaction's
+      end-of-transaction release at a site (Strict 2PL);
+    - {b lock-compat} — every grant is compatible with the other holders
+      under {!Dtx_locks.Mode.compatible};
+    - {b lock-balance} — releases never exceed acquisitions, and nothing is
+      still held when a transaction finishes at a site;
+    - {b fsm-conformance} — coordinator phase transitions follow the
+      documented machine, and protocol messages are only sent from the
+      phases that may send them;
+    - {b 2pc-order} / {b 2pc-prepare} — no Commit before every prepared
+      participant delivered a yes vote, and no yes vote without a durably
+      logged Prepared record (Algs. 5/6 + the 2PC extension);
+    - {b atomic-undo} — a blocked multi-site operation's partial execution
+      is undone everywhere before its transaction commits (Alg. 1
+      l. 15-17);
+    - {b deadlock-victim} — every Victim message corresponds to a real
+      cycle in that detector round's unioned wait-for graph, and names its
+      newest transaction (Alg. 4);
+    - {b sim-clock} — virtual time never decreases.
+
+    {!finish} adds the end-of-run checks: {b serializability} (acyclic
+    precedence graph over the committed history, via {!Dtx.History}),
+    {b mode-lattice} ({!Lattice.check}), and undischarged undo
+    obligations. Violations carry the recent ring-buffer events relevant
+    to the offending transaction — the minimal suffix a human needs. *)
+
+(** The unified trace event, one constructor per instrumented layer. *)
+type event =
+  | Lock of { site : int; ev : Dtx_locks.Table.event }
+  | Net of {
+      src : int;
+      dst : int;
+      dir : Dtx_net.Net.dir;
+      msg : Dtx_net.Msg.t;
+    }
+  | Phase of {
+      txn : int;
+      from_ : Dtx.Coordinator.phase option;
+      to_ : Dtx.Coordinator.phase;
+    }
+  | Part of { site : int; ev : Dtx.Participant.event }
+
+val pp_event : Format.formatter -> event -> unit
+
+type violation = {
+  v_invariant : string;  (** e.g. ["s2pl-discipline"], ["2pc-order"] *)
+  v_txn : int option;
+  v_site : int option;
+  v_detail : string;
+  v_time : float;  (** simulated ms at which the violation was detected *)
+  v_suffix : (float * event) list;  (** recent relevant events, oldest first *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type t
+
+val create : ?ring:int -> unit -> t
+(** A fresh checker. [ring] (default 256) bounds the trace suffix kept for
+    violation reports. @raise Invalid_argument if [ring < 1]. *)
+
+val attach : ?mutate:(event -> event option) -> t -> Dtx.Cluster.t -> unit
+(** Install this checker's sinks on every layer of [cluster] and enable its
+    history recording. Call before submitting transactions. [mutate] taps
+    the event stream before the checker sees it — return [None] to hide an
+    event, or a different event to corrupt it. The self-tests use it to
+    prove the checker catches discipline violations (a hidden release, a
+    hidden vote) without breaking the actual run. *)
+
+val emit : t -> time:float -> event -> unit
+(** Feed one event directly (scripted schedules in tests — no cluster
+    needed). *)
+
+val finish : t -> violation list
+(** Run the end-of-run checks and return every violation found, in
+    detection order. *)
+
+val violations : t -> violation list
+(** Violations found so far, in detection order, without running the
+    end-of-run checks. *)

@@ -62,6 +62,14 @@ let active_txns t = Coordinator.active t.coord
 
 let sites t = t.sites
 
+let sim t = t.sim
+
+let net t = t.net
+
+let coordinator t = t.coord
+
+let participants t = t.participants
+
 let catalog t = t.catalog
 
 let txn_status t id = Coordinator.txn_status t.coord id
@@ -189,7 +197,8 @@ let create ~sim ~net ~n_sites config ~placements =
           site;
           two_phase = config.commit = Two_phase;
           site_failed = (fun () -> Hashtbl.mem failed_sites site.Site.id);
-          txn_live = (fun ~txn ~attempt -> Coordinator.txn_live coord ~txn ~attempt) })
+          txn_live = (fun ~txn ~attempt -> Coordinator.txn_live coord ~txn ~attempt);
+          tracer = None })
       sites
   in
   let t =

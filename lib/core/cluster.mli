@@ -116,6 +116,17 @@ val active_txns : t -> int
 
 val sites : t -> Site.t array
 
+val sim : t -> Dtx_sim.Sim.t
+
+val net : t -> Dtx_net.Net.t
+
+val coordinator : t -> Coordinator.t
+
+val participants : t -> Participant.ctx array
+(** The wired layers, exposed so an external observer (the [Dtx_check]
+    analyzer) can install its trace sinks without the cluster knowing about
+    it. Index [i] of {!participants} serves site [i]. *)
+
 val catalog : t -> Dtx_frag.Allocation.catalog
 
 val txn_status : t -> int -> Dtx_txn.Txn.status option

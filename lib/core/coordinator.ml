@@ -71,6 +71,16 @@ let finishing st =
   | Preparing | Ending | Done -> true
   | Executing | Awaiting_replies | Waiting -> false
 
+let phase_to_string = function
+  | Executing -> "Executing"
+  | Awaiting_replies -> "Awaiting_replies"
+  | Waiting -> "Waiting"
+  | Preparing -> "Preparing"
+  | Ending -> "Ending"
+  | Done -> "Done"
+
+type phase_tracer = txn:int -> from_:phase option -> to_:phase -> unit
+
 type t = {
   sim : Sim.t;
   net : Net.t;
@@ -85,6 +95,7 @@ type t = {
   stats : stats;
   mutable active : int;
   mutable history : History.t option;
+  mutable tracer : phase_tracer option;
 }
 
 let create ~sim ~net ~cost ~catalog ~commit ~op_timeout_ms ~site_failed
@@ -94,7 +105,21 @@ let create ~sim ~net ~cost ~catalog ~commit ~op_timeout_ms ~site_failed
     next_txn_id = 1;
     stats = fresh_stats ();
     active = 0;
-    history = None }
+    history = None;
+    tracer = None }
+
+let set_tracer t tr = t.tracer <- tr
+
+(* Every phase change funnels through here so the analyzer sees the FSM as
+   it actually runs. Same-phase assignments are suppressed: they are not
+   transitions. *)
+let set_phase t (st : txn_state) p =
+  if st.phase <> p then begin
+    (match t.tracer with
+     | Some tr -> tr ~txn:st.txn.Txn.id ~from_:(Some st.phase) ~to_:p
+     | None -> ());
+    st.phase <- p
+  end
 
 let stats t = t.stats
 
@@ -192,14 +217,14 @@ and visit_next_site t (st : txn_state) =
         r.Txn.executed_sites <- st.sites_done;
         Txn.advance st.txn)
       st.batch;
-    st.phase <- Executing;
+    set_phase t st Executing;
     ignore
       (Sim.schedule t.sim ~delay:t.cost.Cost.sched_ms (fun () ->
            coordinator_step t st))
   | dst :: rest ->
     st.sites_left <- rest;
     st.awaiting_site <- Some dst;
-    st.phase <- Awaiting_replies;
+    set_phase t st Awaiting_replies;
     let attempt = st.attempt in
     let shipments =
       List.map
@@ -282,13 +307,13 @@ and enter_wait t (st : txn_state) =
   if st.wake_pending then begin
     (* The blocker already finished while we were deciding; retry now. *)
     st.wake_pending <- false;
-    st.phase <- Executing;
+    set_phase t st Executing;
     ignore
       (Sim.schedule t.sim ~delay:(retry_delay t st) (fun () ->
            coordinator_step t st))
   end
   else begin
-    st.phase <- Waiting;
+    set_phase t st Waiting;
     st.txn.Txn.status <- Txn.Waiting;
     st.txn.Txn.wait_started <- Sim.now t.sim
   end
@@ -300,7 +325,7 @@ and handle_wake t ~txn =
   | Some st -> (
     match st.phase with
     | Waiting ->
-      st.phase <- Executing;
+      set_phase t st Executing;
       st.txn.Txn.status <- Txn.Active;
       st.txn.Txn.waited_total <-
         st.txn.Txn.waited_total +. (Sim.now t.sim -. st.txn.Txn.wait_started);
@@ -354,7 +379,7 @@ and start_end_protocol t (st : txn_state) ~commit =
   end
 
 and begin_ending t (st : txn_state) ~commit =
-  st.phase <- Ending;
+  set_phase t st Ending;
   st.end_commit <- commit;
   st.end_ack_failed <- false;
   let sites_involved = involved_sites t st in
@@ -376,7 +401,7 @@ and begin_ending t (st : txn_state) ~commit =
 (* 2PC phase one: collect votes; every participant durably logs Prepared
    before voting yes. *)
 and start_prepare_phase t (st : txn_state) =
-  st.phase <- Preparing;
+  set_phase t st Preparing;
   let sites_involved = involved_sites t st in
   st.end_acks_pending <- List.length sites_involved;
   st.end_ack_failed <- false;
@@ -444,7 +469,7 @@ and finalize t (st : txn_state) status =
    | Txn.Aborted, Reason_op_failure msg ->
      Log.debug (fun m -> m "t%d aborted: %s" st.txn.Txn.id msg)
    | _ -> ());
-  st.phase <- Done;
+  set_phase t st Done;
   st.txn.Txn.status <- status;
   st.txn.Txn.finished_at <- Sim.now t.sim;
   t.stats.last_finish <- Sim.now t.sim;
@@ -499,6 +524,9 @@ let submit t ~client ~coordinator ~ops ~on_finish =
       end_acks_pending = 0; end_ack_failed = false; reason = Reason_normal }
   in
   Hashtbl.replace t.txns id st;
+  (match t.tracer with
+   | Some tr -> tr ~txn:id ~from_:None ~to_:Executing
+   | None -> ());
   t.stats.submitted <- t.stats.submitted + 1;
   t.active <- t.active + 1;
   sample_concurrency t;

@@ -24,6 +24,22 @@
 
 type commit_protocol = One_phase | Two_phase
 
+(** The per-transaction FSM phases, exposed so the analyzer can check
+    transition legality against the documented machine. *)
+type phase =
+  | Executing  (** picking / scheduling the next shipment *)
+  | Awaiting_replies  (** a shipment is in flight to one participant *)
+  | Waiting  (** blocked; resumes on [Wake] *)
+  | Preparing  (** 2PC vote round outstanding *)
+  | Ending  (** commit/abort fan-out outstanding *)
+  | Done
+
+val phase_to_string : phase -> string
+
+type phase_tracer = txn:int -> from_:phase option -> to_:phase -> unit
+(** Called on every phase {e change} (same-phase re-assignments are
+    suppressed). [from_ = None] marks transaction admission. *)
+
 (** Cluster-wide counters and series for the experiment harness
     (re-exported as [Cluster.stats]). *)
 type stats = {
@@ -86,3 +102,7 @@ val home_of : t -> txn:int -> int option
 
 val set_history : t -> History.t -> unit
 (** Record commit/abort events into [h] at finalization. *)
+
+val set_tracer : t -> phase_tracer option -> unit
+(** Install (or remove) a phase-transition sink. [None] (the default) keeps
+    phase assignment a plain store plus one immediate [match]. *)

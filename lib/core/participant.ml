@@ -2,6 +2,19 @@ module Sim = Dtx_sim.Sim
 module Net = Dtx_net.Net
 module Msg = Dtx_net.Msg
 
+type event =
+  | Undone of { txn : int; op_index : int; attempt : int }
+  | Prepared of { txn : int }
+  | Finished of { txn : int; committed : bool }
+
+let pp_event ppf = function
+  | Undone { txn; op_index; attempt } ->
+    Format.fprintf ppf "t%d op%d undone (attempt %d)" txn op_index attempt
+  | Prepared { txn } -> Format.fprintf ppf "t%d logged Prepared" txn
+  | Finished { txn; committed } ->
+    Format.fprintf ppf "t%d finished locally (%s)" txn
+      (if committed then "commit" else "abort")
+
 type ctx = {
   sim : Sim.t;
   net : Net.t;
@@ -10,7 +23,11 @@ type ctx = {
   two_phase : bool;
   site_failed : unit -> bool;
   txn_live : txn:int -> attempt:int -> bool;
+  mutable tracer : (event -> unit) option;
 }
+
+let emit ctx ev =
+  match ctx.tracer with Some tr -> tr ev | None -> ()
 
 (* Serialize heavy work on the site's scheduler: run [k] once the site is
    free; [k] must set [busy_until] itself (via [charge]). *)
@@ -111,6 +128,7 @@ let handle_op_ship ctx ~src ~txn ~attempt ops =
 let handle_op_undo ctx ~txn ~op_index ~attempt =
   on_site_free ctx (fun () ->
       Site.undo_operation ~only_attempt:attempt ctx.site ~txn ~op_index;
+      emit ctx (Undone { txn; op_index; attempt });
       charge ctx ctx.cost.Cost.sched_ms;
       wake_waiters ctx (Site.take_waiters ctx.site ~blocker:txn))
 
@@ -121,6 +139,7 @@ let handle_prepare ctx ~src ~txn =
     on_site_free ctx (fun () ->
         Wal.append ctx.site.Site.wal
           (Wal.Prepared { txn; time = Sim.now ctx.sim });
+        emit ctx (Prepared { txn });
         let work = ctx.cost.Cost.sched_ms in
         charge ctx work;
         ignore
@@ -137,6 +156,7 @@ let handle_end ctx ~src ~txn ~commit =
     on_site_free ctx (fun () ->
         let touched = Site.txn_touched_total ctx.site ~txn in
         let waiters = Site.finish_txn ctx.site ~txn ~commit in
+        emit ctx (Finished { txn; committed = commit });
         (* The outcome record follows the DataManager write-back, so the
            durable store and the log can never disagree (see Wal). *)
         if ctx.two_phase then
@@ -158,7 +178,9 @@ let handle_end ctx ~src ~txn ~commit =
 
 (* Alg. 6 l. 6-9: the best-effort "fail everywhere" broadcast — release
    whatever this site holds, wake nobody, acknowledge nothing. *)
-let handle_quiet_abort ctx ~txn = ignore (Site.finish_txn ctx.site ~txn ~commit:false)
+let handle_quiet_abort ctx ~txn =
+  ignore (Site.finish_txn ctx.site ~txn ~commit:false);
+  emit ctx (Finished { txn; committed = false })
 
 let handle_wfg_request ctx ~src =
   let snap = Site.wfg_snapshot ctx.site in

@@ -9,6 +9,18 @@
     l. 4). Every reply it emits goes back through {!Dtx_net.Net.dispatch} —
     the participant holds no reference to any coordinator state. *)
 
+(** Local state changes the analyzer cares about, emitted at the moment the
+    site applied them (not when the corresponding reply is delivered). *)
+type event =
+  | Undone of { txn : int; op_index : int; attempt : int }
+      (** an [Op_undo] was processed (Alg. 1 l. 16) *)
+  | Prepared of { txn : int }  (** the Prepared record hit the WAL *)
+  | Finished of { txn : int; committed : bool }
+      (** commit/abort applied locally: effects persisted or undone, locks
+          released (quiet aborts included) *)
+
+val pp_event : Format.formatter -> event -> unit
+
 type ctx = {
   sim : Dtx_sim.Sim.t;
   net : Dtx_net.Net.t;
@@ -24,6 +36,9 @@ type ctx = {
           have been aborted while the message was in flight, and executing
           for a dead transaction would leak effects no later abort cleans
           up *)
+  mutable tracer : (event -> unit) option;
+      (** trace sink; [None] (the default) costs one immediate [match] per
+          would-be event *)
 }
 
 val handle : ctx -> src:int -> Dtx_net.Msg.t -> unit

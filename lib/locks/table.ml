@@ -98,13 +98,40 @@ type entry = {
   mutable mask : int;
 }
 
+type release_kind = Undo | End_of_txn
+
+type event =
+  | Acquired of { txn : int; resource : resource; mode : Mode.t }
+  | Released of {
+      txn : int;
+      resource : resource;
+      mode : Mode.t;
+      count : int;
+      kind : release_kind;
+    }
+  | Cleared
+
+let pp_event ppf = function
+  | Acquired { txn; resource; mode } ->
+    Format.fprintf ppf "t%d acquires %s on %a" txn (Mode.to_string mode)
+      pp_resource resource
+  | Released { txn; resource; mode; count; kind } ->
+    Format.fprintf ppf "t%d releases %s on %a (x%d, %s)" txn
+      (Mode.to_string mode) pp_resource resource count
+      (match kind with Undo -> "undo" | End_of_txn -> "end")
+  | Cleared -> Format.fprintf ppf "lock table cleared"
+
 type t = {
   table : entry Itbl.t;
   by_txn : unit Itbl.t Itbl.t;  (* txn -> set of its resources *)
   mutable grants : int;
+  mutable tracer : (event -> unit) option;
 }
 
-let create () = { table = Itbl.create 256; by_txn = Itbl.create 64; grants = 0 }
+let create () =
+  { table = Itbl.create 256; by_txn = Itbl.create 64; grants = 0; tracer = None }
+
+let set_tracer t tr = t.tracer <- tr
 
 let entry t r =
   match Itbl.find_opt t.table r with
@@ -140,9 +167,23 @@ let ungrant t ~txn r mode =
     | Some h ->
       h.count <- h.count - 1;
       t.grants <- t.grants - 1;
+      (match t.tracer with
+       | Some tr ->
+         tr (Released { txn; resource = r; mode; count = 1; kind = Undo })
+       | None -> ());
       if h.count = 0 then begin
         e.holders <- List.filter (fun h' -> not (h' == h)) e.holders;
-        if e.holders = [] then Itbl.remove t.table r else recompute_mask e
+        if e.holders = [] then Itbl.remove t.table r else recompute_mask e;
+        (* Keep the per-transaction resource set exact: once the last of the
+           transaction's holds on [r] is undone, [r] must leave its set, so
+           a later [release_txn] never touches entries the transaction no
+           longer owns (they may belong to someone else by then). *)
+        if not (List.exists (fun h' -> h'.txn = txn) e.holders) then
+          match Itbl.find_opt t.by_txn txn with
+          | Some set ->
+            Itbl.remove set r;
+            if Itbl.length set = 0 then Itbl.remove t.by_txn txn
+          | None -> ()
       end)
 
 let sort_uniq_ints l = List.sort_uniq compare l
@@ -169,17 +210,24 @@ let acquire_all t ~txn requests =
     (* Grant pass: all requests share [txn], so resolve its resource set
        once instead of per grant. *)
     let set = txn_set t txn in
-    List.iter
-      (fun (r, mode) ->
-        let e = entry t r in
-        (match find_holder e.holders txn mode with
-         | Some h -> h.count <- h.count + 1
-         | None ->
-           e.holders <- { txn; mode; count = 1 } :: e.holders;
-           e.mask <- e.mask lor Mode.bit mode);
-        t.grants <- t.grants + 1;
-        Itbl.replace set r ())
-      requests;
+    let grant (r, mode) =
+      let e = entry t r in
+      (match find_holder e.holders txn mode with
+       | Some h -> h.count <- h.count + 1
+       | None ->
+         e.holders <- { txn; mode; count = 1 } :: e.holders;
+         e.mask <- e.mask lor Mode.bit mode);
+      t.grants <- t.grants + 1;
+      Itbl.replace set r ()
+    in
+    (match t.tracer with
+     | None -> List.iter grant requests
+     | Some tr ->
+       List.iter
+         (fun ((r, mode) as req) ->
+           grant req;
+           tr (Acquired { txn; resource = r; mode }))
+         requests);
     Ok ()
   | blockers -> Error blockers
 
@@ -198,7 +246,17 @@ let release_txn t ~txn =
         | Some e ->
           let mine, others = List.partition (fun h -> h.txn = txn) e.holders in
           if mine <> [] then begin
-            List.iter (fun h -> t.grants <- t.grants - h.count) mine;
+            List.iter
+              (fun h ->
+                t.grants <- t.grants - h.count;
+                match t.tracer with
+                | Some tr ->
+                  tr
+                    (Released
+                       { txn; resource = r; mode = h.mode; count = h.count;
+                         kind = End_of_txn })
+                | None -> ())
+              mine;
             freed := r :: !freed;
             if others = [] then Itbl.remove t.table r
             else begin
@@ -240,4 +298,5 @@ let txn_holds t ~txn r mode =
 let clear t =
   Itbl.reset t.table;
   Itbl.reset t.by_txn;
-  t.grants <- 0
+  t.grants <- 0;
+  match t.tracer with Some tr -> tr Cleared | None -> ()

@@ -48,9 +48,32 @@ val dedup_requests : (resource * Mode.t) list -> (resource * Mode.t) list
 (** Sort and deduplicate a request list via single-int (resource, mode) keys
     — the protocols' replacement for [List.sort_uniq compare] over records. *)
 
+type release_kind =
+  | Undo  (** operation rollback: one reference-count decrement *)
+  | End_of_txn  (** Strict 2PL end-of-transaction bulk release *)
+
+type event =
+  | Acquired of { txn : int; resource : resource; mode : Mode.t }
+  | Released of {
+      txn : int;
+      resource : resource;
+      mode : Mode.t;
+      count : int;  (** reference counts dropped by this release *)
+      kind : release_kind;
+    }
+  | Cleared  (** {!clear}: the site lost its volatile lock state *)
+
+val pp_event : Format.formatter -> event -> unit
+
 type t
 
 val create : unit -> t
+
+val set_tracer : t -> (event -> unit) option -> unit
+(** Install (or remove) a trace sink. With [None] — the default — the grant
+    and release paths are unchanged except for one immediate [match], so
+    tracing costs nothing when disabled. The tracer fires after the table
+    mutated, i.e. an [Acquired] event observes the lock already held. *)
 
 val acquire_all :
   t -> txn:int -> (resource * Mode.t) list -> (unit, int list) result

@@ -13,6 +13,10 @@ module Rng = Dtx_util.Rng
 
 type handler = src:int -> dst:int -> Msg.t -> unit
 
+type dir = Send | Drop | Deliver
+
+type tracer = src:int -> dst:int -> dir -> Msg.t -> unit
+
 type t = {
   sim : Sim.t;
   base_latency_ms : float;
@@ -26,6 +30,7 @@ type t = {
   dropped_by_kind : int array;
   bytes_by_kind : int array;
   mutable handler : handler option;
+  mutable tracer : tracer option;
 }
 
 let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
@@ -43,9 +48,12 @@ let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
     sent_by_kind = Array.make Msg.Kind.count 0;
     dropped_by_kind = Array.make Msg.Kind.count 0;
     bytes_by_kind = Array.make Msg.Kind.count 0;
-    handler = None }
+    handler = None;
+    tracer = None }
 
 let set_handler t h = t.handler <- Some h
+
+let set_tracer t tr = t.tracer <- tr
 
 let latency t ~src ~dst ~bytes =
   if src = dst then 0.0
@@ -78,14 +86,29 @@ let dispatch t ~src ~dst ?(reliable = true) msg =
     t.sent_by_kind.(i) <- t.sent_by_kind.(i) + 1;
     t.bytes_by_kind.(i) <- t.bytes_by_kind.(i) + bytes
   end;
+  (match t.tracer with
+   | Some tr -> tr ~src ~dst Send msg
+   | None -> ());
   if
     src <> dst && (not reliable) && t.drop_pct > 0
     && Rng.pct t.rng t.drop_pct
   then begin
     t.dropped <- t.dropped + 1;
-    t.dropped_by_kind.(i) <- t.dropped_by_kind.(i) + 1
+    t.dropped_by_kind.(i) <- t.dropped_by_kind.(i) + 1;
+    match t.tracer with
+    | Some tr -> tr ~src ~dst Drop msg
+    | None -> ()
   end
-  else ignore (Sim.schedule t.sim ~delay (fun () -> h ~src ~dst msg))
+  else
+    let k =
+      match t.tracer with
+      | None -> fun () -> h ~src ~dst msg
+      | Some tr ->
+        fun () ->
+          tr ~src ~dst Deliver msg;
+          h ~src ~dst msg
+    in
+    ignore (Sim.schedule t.sim ~delay k)
 
 let messages t = t.messages
 

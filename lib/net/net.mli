@@ -50,6 +50,20 @@ val set_handler : t -> handler -> unit
     delivered to it after the link delay. Exactly one handler serves a
     network; a later call replaces the earlier one. *)
 
+type dir =
+  | Send  (** [dispatch] accepted the message (before any loss decision) *)
+  | Drop  (** the lossy link discarded it *)
+  | Deliver  (** about to run the handler, at delivery time *)
+
+type tracer = src:int -> dst:int -> dir -> Msg.t -> unit
+
+val set_tracer : t -> tracer option -> unit
+(** Install (or remove) a trace sink on {!dispatch}ed messages. [Deliver]
+    fires inside the simulator event, immediately before the handler, so a
+    tracer observes exactly the causal order the cluster does. The untyped
+    {!send} path is not traced. [None] (the default) leaves dispatch
+    unchanged beyond one immediate [match] per message. *)
+
 val dispatch : t -> src:int -> dst:int -> ?reliable:bool -> Msg.t -> unit
 (** Ship a protocol message: its {!Msg.size} is charged as traffic (counted
     per {!Msg.Kind}), and the registered handler receives it after the link

@@ -19,6 +19,7 @@ type t = {
   queue : event Heap.t;
   live : (int, event) Hashtbl.t;
   mutable cancelled_pending : int;
+  mutable tracer : (time:float -> seq:int -> unit) option;
 }
 
 let cmp_event a b =
@@ -30,7 +31,10 @@ let create () =
     next_seq = 0;
     queue = Heap.create ~cmp:cmp_event;
     live = Hashtbl.create 16;
-    cancelled_pending = 0 }
+    cancelled_pending = 0;
+    tracer = None }
+
+let set_tracer t tr = t.tracer <- tr
 
 let now t = t.clock
 
@@ -66,6 +70,9 @@ let pending t = Heap.length t.queue
 
 let fire t ev =
   t.clock <- ev.time;
+  (match t.tracer with
+   | Some tr -> tr ~time:ev.time ~seq:ev.seq
+   | None -> ());
   Hashtbl.remove t.live ev.seq;
   if ev.cancelled then t.cancelled_pending <- t.cancelled_pending - 1
   else ev.action ()

@@ -53,3 +53,9 @@ val run : ?until:float -> ?max_events:int -> t -> unit
 
 val step : t -> bool
 (** [step sim] processes exactly one event; [false] if the queue was empty. *)
+
+val set_tracer : t -> (time:float -> seq:int -> unit) option -> unit
+(** Install (or remove) a trace sink called for every fired event (cancelled
+    ones included), after the clock advanced to its timestamp. Used by the
+    analyzer to check clock monotonicity; [None] (the default) keeps the
+    dispatch loop unchanged beyond one immediate [match]. *)

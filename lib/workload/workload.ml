@@ -96,7 +96,7 @@ let gen_transaction p (cl : client) fragments fresh =
       in
       (doc.Doc.name, op))
 
-let run p =
+let run ?instrument p =
   if p.n_sites < 1 || p.n_clients < 1 then invalid_arg "Workload.run";
   let master = Rng.create p.seed in
   (* Database: XMark base, fragmented, allocated. *)
@@ -122,6 +122,7 @@ let run p =
   in
   let cluster = Cluster.create ~sim ~net ~n_sites:p.n_sites config ~placements in
   Cluster.shutdown_when_idle cluster;
+  (match instrument with Some f -> f cluster | None -> ());
   (* Unique suffixes for inserted entities, across all clients. *)
   let fresh_counter = ref 0 in
   let fresh () =

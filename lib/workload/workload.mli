@@ -66,8 +66,10 @@ type result = {
       (** total lock-structure size across sites (DataGuide vs document) *)
 }
 
-val run : params -> result
-(** Deterministic for a given [params]. *)
+val run : ?instrument:(Dtx.Cluster.t -> unit) -> params -> result
+(** Deterministic for a given [params]. [instrument] runs on the freshly
+    built cluster before any transaction is submitted — the hook the
+    [Dtx_check] analyzer (and the history-based tests) attach through. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** One-paragraph human-readable summary. *)

@@ -217,6 +217,34 @@ let test_refcounted_grants () =
   checkb "now gone" false (Table.txn_holds t ~txn:1 (r "d" 1) Mode.IS);
   check "empty" 0 (Table.lock_count t)
 
+(* Regression: releasing a transaction must be idempotent, and undoing a
+   grant down to zero must leave no stale per-transaction bookkeeping — a
+   later [release_txn] must not touch entries that now belong to someone
+   else. *)
+let test_release_txn_idempotent () =
+  let t = Table.create () in
+  ignore (Table.acquire_all t ~txn:1 [ (r "d" 1, Mode.IS) ]);
+  (* Full undo: txn 1 no longer holds anything on d#1. *)
+  Table.release_request t ~txn:1 [ (r "d" 1, Mode.IS) ];
+  check "nothing held after undo" 0 (List.length (Table.locks_of t ~txn:1));
+  (* The resource is free; another transaction takes an exclusive lock. *)
+  (match Table.acquire_all t ~txn:2 [ (r "d" 1, Mode.X) ] with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "resource should be free after undo");
+  (* End-of-transaction release of txn 1 must be a no-op: no freed
+     resources reported (no spurious wakes) and txn 2's grant intact. *)
+  check "release after undo frees nothing" 0
+    (List.length (Table.release_txn t ~txn:1));
+  checkb "txn 2 keeps its lock" true (Table.txn_holds t ~txn:2 (r "d" 1) Mode.X);
+  (match Table.acquire_all t ~txn:3 [ (r "d" 1, Mode.IS) ] with
+   | Error [ 2 ] -> ()
+   | Error _ | Ok () -> Alcotest.fail "mask must still show txn 2's X");
+  (* Double release of a finished transaction is a no-op too. *)
+  check "first release frees" 1 (List.length (Table.release_txn t ~txn:2));
+  check "second release frees nothing" 0
+    (List.length (Table.release_txn t ~txn:2));
+  check "table empty" 0 (Table.lock_count t)
+
 let test_multiple_blockers_sorted () =
   let t = Table.create () in
   ignore (Table.acquire_all t ~txn:5 [ (r "d" 1, Mode.IS) ]);
@@ -538,6 +566,8 @@ let () =
           Alcotest.test_case "all-or-nothing" `Quick test_all_or_nothing;
           Alcotest.test_case "self never conflicts" `Quick test_own_locks_never_conflict;
           Alcotest.test_case "refcounted" `Quick test_refcounted_grants;
+          Alcotest.test_case "release_txn idempotent" `Quick
+            test_release_txn_idempotent;
           Alcotest.test_case "blockers sorted" `Quick test_multiple_blockers_sorted;
           Alcotest.test_case "doc namespaces" `Quick test_resources_namespaced_by_doc;
           QCheck_alcotest.to_alcotest prop_release_after_acquire_empty;
