@@ -3,9 +3,9 @@
 # part of the gate; add it here if/when the binary is available.)
 
 .PHONY: check build test bench bench-smoke bench-json analyze analyze-smoke \
-	analyze-mutations clean
+	analyze-mutations chaos chaos-smoke clean
 
-check: build test bench-smoke analyze-smoke
+check: build test bench-smoke analyze-smoke chaos-smoke
 
 build:
 	dune build
@@ -34,6 +34,16 @@ analyze:
 # Tiny single-seed analyzer pass — part of `make check`.
 analyze-smoke:
 	dune exec bin/dtx_cli.exe -- analyze --smoke
+
+# Scripted chaos: seeded fault plans (drop/duplicate/reorder, partitions,
+# crash + WAL-replay restart) under every protocol config with the checker
+# attached. Exits non-zero on any violation.
+chaos:
+	dune exec bin/dtx_cli.exe -- chaos
+
+# Reduced chaos matrix (3 plans, XDGL and XDGL+2PC) — part of `make check`.
+chaos-smoke:
+	dune exec bin/dtx_cli.exe -- chaos --smoke
 
 # The checker's self-test: each seeded trace mutation must make the
 # analyzer fail. `!` inverts, so this target fails if a mutation slips by.

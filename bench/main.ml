@@ -292,12 +292,12 @@ let ablation () =
     "p95(ms)" "makespan" "deadlocks";
   List.iter
     (fun (name, profile) ->
-      let r = Workload.run { base with net_profile = profile } in
+      let r = Workload.run { base with net_config = profile } in
       Format.fprintf ppf "%-8s %-12.1f %-12.1f %-12.1f %-14d@." name
         r.Workload.response.Dtx_util.Stats.mean
         r.Workload.response.Dtx_util.Stats.p95 r.Workload.makespan_ms
         r.Workload.deadlocks)
-    [ ("lan", Dtx_net.Net.lan); ("wan", Dtx_net.Net.wan) ];
+    [ ("lan", Dtx_net.Net.Config.lan); ("wan", Dtx_net.Net.Config.wan) ];
   Format.fprintf ppf "@.== Ablation: replica copies under partial replication ==@.";
   Format.fprintf ppf "%-10s %-12s %-12s %-12s@." "copies" "mean(ms)"
     "messages" "committed";

@@ -27,7 +27,7 @@ let () =
 
   (* 2. A simulated two-site cluster, the catalogue replicated on both. *)
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let cluster =
     Cluster.create ~sim ~net ~n_sites:2
       (Cluster.default_config ()) (* XDGL protocol, default cost model *)

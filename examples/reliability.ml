@@ -29,7 +29,7 @@ let replica cluster site =
 let fresh_cluster ?(commit = Cluster.Two_phase) ?(policy = Dtx.Site.Detection)
     ?(drop_pct = 0) () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~drop_pct ~seed:5 () in
+  let net = Net.of_config ~sim Net.Config.(lan |> with_drop_pct drop_pct |> with_seed 5) in
   let ledger = Dtx_xml.Parser.parse ~name:"ledger" ledger_text in
   let config =
     { (Cluster.default_config ()) with

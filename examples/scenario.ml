@@ -32,7 +32,7 @@ let d2_text =
 
 let () =
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let d1 = Dtx_xml.Parser.parse ~name:"d1" d1_text in
   let d2 = Dtx_xml.Parser.parse ~name:"d2" d2_text in
   let cluster =

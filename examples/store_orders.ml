@@ -42,7 +42,7 @@ let op s = match Op.parse s with Ok op -> op | Error e -> failwith e
 
 let () =
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let parse name text = Dtx_xml.Parser.parse ~name text in
   let store_dir = Filename.concat (Filename.get_temp_dir_name ()) "dtx-store-orders" in
   let cluster =

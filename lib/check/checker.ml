@@ -36,16 +36,26 @@ let txn_of = function
     | Msg.End_ack { txn; _ }
     | Msg.Wake { txn }
     | Msg.Wound { txn }
-    | Msg.Victim { txn } -> Some txn
+    | Msg.Victim { txn }
+    | Msg.Outcome_query { txn }
+    | Msg.Outcome_reply { txn; _ } -> Some txn
     | Msg.Wfg_request | Msg.Wfg_reply _ -> None)
   | Phase { txn; _ } -> Some txn
   | Part
       { ev =
           ( Participant.Undone { txn; _ }
           | Participant.Prepared { txn }
-          | Participant.Finished { txn; _ } );
+          | Participant.Finished { txn; _ }
+          | Participant.Executed { txn; _ }
+          | Participant.Recovery_resolved { txn; _ } );
         _
       } -> Some txn
+  | Part
+      { ev =
+          ( Participant.Crashed | Participant.Restarted
+          | Participant.Recovery_begun _ );
+        _
+      } -> None
 
 let pp_event ppf = function
   | Lock { site; ev } -> Format.fprintf ppf "site %d: %a" site Table.pp_event ev
@@ -115,6 +125,14 @@ type t = {
   (* --- deadlock detector mirror --- *)
   mutable round_wfg : Wfg.t;
   mutable last_wfg_dst : int;
+  (* --- fault/recovery mirror --- *)
+  executed : (int * int * int, unit) Hashtbl.t;
+      (* (site, txn, seq): shipment executions, for the double-apply check;
+         a site's entries die with it at Crashed (so did the effects) *)
+  commit_issued : (int, unit) Hashtbl.t;  (* saw a Commit sent for txn *)
+  recovery_pending : (int * int, unit) Hashtbl.t;  (* (site, txn) in doubt *)
+  mutable link_cut : (time:float -> src:int -> dst:int -> bool) option;
+      (* fault-plan oracle: is this link severed (partition or crash)? *)
 }
 
 let create ?(ring = 256) () =
@@ -137,7 +155,13 @@ let create ?(ring = 256) () =
     granted_sites = Hashtbl.create 64;
     undo_due = Hashtbl.create 16;
     round_wfg = Wfg.create ();
-    last_wfg_dst = min_int }
+    last_wfg_dst = min_int;
+    executed = Hashtbl.create 64;
+    commit_issued = Hashtbl.create 64;
+    recovery_pending = Hashtbl.create 16;
+    link_cut = None }
+
+let set_link_oracle t o = t.link_cut <- o
 
 let violations t = List.rev t.violations
 
@@ -273,6 +297,50 @@ let on_part t ~site ev =
     Hashtbl.remove t.undo_due (txn, attempt, site)
   | Participant.Prepared { txn } ->
     Hashtbl.replace t.prepared_logged (site, txn) ()
+  | Participant.Executed { txn; seq } ->
+    (* At-most-once: the participant's (txn, seq) cache must absorb every
+       duplicated or retransmitted shipment. *)
+    if member t.executed (site, txn, seq) then
+      violate t ~txn ~site ~invariant:"dedup"
+        "shipment (t%d, seq %d) executed twice at site %d — duplicate \
+         delivery double-applied"
+        txn seq site
+    else Hashtbl.replace t.executed (site, txn, seq) ()
+  | Participant.Crashed ->
+    (* The site's volatile effects died; so does our execution mirror of
+       them (a post-restart re-execution applies to the recovered store,
+       not on top of the lost effects). *)
+    let keys =
+      Hashtbl.fold
+        (fun ((s, _, _) as k) () acc -> if s = site then k :: acc else acc)
+        t.executed []
+    in
+    List.iter (Hashtbl.remove t.executed) keys
+  | Participant.Restarted -> ()
+  | Participant.Recovery_begun { in_doubt } ->
+    List.iter
+      (fun txn -> Hashtbl.replace t.recovery_pending (site, txn) ())
+      in_doubt
+  | Participant.Recovery_resolved { txn; committed } ->
+    if not (member t.recovery_pending (site, txn)) then
+      violate t ~txn ~site ~invariant:"recovery"
+        "t%d resolved at site %d without a pending in-doubt record" txn site;
+    Hashtbl.remove t.recovery_pending (site, txn);
+    if committed then begin
+      if not (member t.commit_issued txn) then
+        violate t ~txn ~site ~invariant:"recovery"
+          "t%d resolved as committed at site %d but no Commit was ever \
+           issued for it (phantom commit)"
+          txn site
+    end
+    else if member t.committed txn then
+      (* The core durability promise: a write the system committed must
+         survive the crash — resolving its Prepared record as an abort
+         discards it. *)
+      violate t ~txn ~site ~invariant:"recovery"
+        "t%d applied a commit elsewhere but site %d resolved its in-doubt \
+         record as an abort: committed write lost"
+        txn site
   | Participant.Finished { txn; committed } ->
     Hashtbl.replace t.ended (site, txn) ();
     (match Hashtbl.find_opt t.txn_locks (site, txn) with
@@ -359,6 +427,7 @@ let on_net t ~src ~dst dir (msg : Msg.t) =
     Hashtbl.replace t.prepare_sent (txn, dst) ()
   | Net.Send, Msg.Commit { txn } ->
     expect_phase t ~txn ~kind:"Commit" [ Coordinator.Ending ];
+    Hashtbl.replace t.commit_issued txn ();
     let prepared =
       Hashtbl.fold
         (fun (txn', site) () acc -> if txn' = txn then site :: acc else acc)
@@ -427,6 +496,14 @@ let on_net t ~src ~dst dir (msg : Msg.t) =
             Hashtbl.replace t.undo_due (txn, attempt, site) ())
         t.granted_sites
     | Msg.Deadlock | Msg.Failed _ -> ())
+  | Net.Deliver, Msg.Outcome_reply { txn; committed } ->
+    (* The coordinator's answer must agree with what it did: a committed
+       answer requires an issued Commit; an abort answer for a transaction
+       whose commit was issued is the lost-write path in the making (the
+       receiving site checks again at resolution). *)
+    if committed && not (member t.commit_issued txn) then
+      violate t ~txn ~invariant:"recovery"
+        "outcome reply says t%d committed but no Commit was ever issued" txn
   | (Net.Send | Net.Drop | Net.Deliver), _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -441,40 +518,39 @@ let emit t ~time ev =
   | Lock { site; ev } -> on_lock t ~site ev
   | Part { site; ev } -> on_part t ~site ev
   | Phase { txn; from_; to_ } -> on_phase t ~txn ~from_ ~to_
-  | Net { src; dst; dir; msg } -> on_net t ~src ~dst dir msg
+  | Net { src; dst; dir; msg } ->
+    (match (dir, t.link_cut) with
+     | Net.Deliver, Some cut when src <> dst && cut ~time ~src ~dst ->
+       violate t ?txn:(txn_of ev) ~site:dst ~invariant:"partition"
+         "message delivered %d->%d while the fault plan has the link severed"
+         src dst
+     | _ -> ());
+    on_net t ~src ~dst dir msg
 
+(* All five trace streams arrive through the cluster's unified tracer; this
+   adapter narrows them to the checker's event type (and applies the test
+   suite's [mutate] tap). *)
 let attach ?mutate t cluster =
-  let sim = Cluster.sim cluster in
   t.history <- Some (Cluster.enable_history cluster);
-  let feed ev =
+  let feed ~time ev =
     let ev = match mutate with None -> Some ev | Some f -> f ev in
-    match ev with Some ev -> emit t ~time:(Sim.now sim) ev | None -> ()
+    match ev with Some ev -> emit t ~time ev | None -> ()
   in
-  Sim.set_tracer sim
-    (Some
-       (fun ~time ~seq:_ ->
-         (* Clock monotonicity, checked inline: sim ticks are far too
-            frequent to push through the ring. *)
-         if time +. 1e-9 < t.last_time then
-           violate t ~invariant:"sim-clock"
-             "simulation clock moved backwards: %.6f after %.6f" time
-             t.last_time));
-  Net.set_tracer (Cluster.net cluster)
-    (Some (fun ~src ~dst dir msg -> feed (Net { src; dst; dir; msg })));
-  Coordinator.set_tracer
-    (Cluster.coordinator cluster)
-    (Some (fun ~txn ~from_ ~to_ -> feed (Phase { txn; from_; to_ })));
-  Array.iter
-    (fun (site : Site.t) ->
-      let id = site.Site.id in
-      Table.set_tracer site.Site.table
-        (Some (fun ev -> feed (Lock { site = id; ev }))))
-    (Cluster.sites cluster);
-  Array.iter
-    (fun (p : Participant.ctx) ->
-      let id = p.Participant.site.Site.id in
-      p.Participant.tracer <- Some (fun ev -> feed (Part { site = id; ev })))
-    (Cluster.participants cluster)
+  Cluster.attach_tracer cluster (fun ~time tev ->
+      match tev with
+      | Cluster.Tr_tick ->
+        (* Clock monotonicity, checked inline: sim ticks are far too
+           frequent to push through the ring. *)
+        if time +. 1e-9 < t.last_time then
+          violate t ~invariant:"sim-clock"
+            "simulation clock moved backwards: %.6f after %.6f" time
+            t.last_time
+      | Cluster.Tr_net { src; dst; dir; msg } ->
+        feed ~time (Net { src; dst; dir; msg })
+      | Cluster.Tr_phase { txn; from_; to_ } ->
+        feed ~time (Phase { txn; from_; to_ })
+      | Cluster.Tr_lock { site; ev } -> feed ~time (Lock { site; ev })
+      | Cluster.Tr_part { site; ev } -> feed ~time (Part { site; ev }))
 
 let finish t =
   (* The mode lattice is state the whole run depended on; re-verify it so a
@@ -493,6 +569,14 @@ let finish t =
            was never undone"
           txn attempt site)
     t.undo_due;
+  (* Every prepared transaction must resolve: an in-doubt record left at
+     the end of the run means recovery stalled. *)
+  Hashtbl.iter
+    (fun (site, txn) () ->
+      violate t ~txn ~site ~invariant:"recovery"
+        "t%d still in doubt at site %d at end of run (never resolved)" txn
+        site)
+    t.recovery_pending;
   (* Conflict-serializability of the committed history (precedence graph
      over the recorded, still-valid accesses). *)
   (match t.history with

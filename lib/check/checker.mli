@@ -23,13 +23,23 @@
     - {b deadlock-victim} — every Victim message corresponds to a real
       cycle in that detector round's unioned wait-for graph, and names its
       newest transaction (Alg. 4);
-    - {b sim-clock} — virtual time never decreases.
+    - {b sim-clock} — virtual time never decreases;
+    - {b dedup} — a duplicated or retransmitted operation shipment is never
+      executed twice at a site (at-most-once delivery);
+    - {b partition} — no message is delivered across a link the installed
+      fault-plan oracle ({!set_link_oracle}) says is severed;
+    - {b recovery} — crash/restart honesty: an in-doubt transaction may
+      only resolve as committed if a Commit was actually issued, must not
+      resolve as aborted once its commit applied somewhere (no committed
+      write is lost), and every in-doubt record must be resolved by the end
+      of the run.
 
     {!finish} adds the end-of-run checks: {b serializability} (acyclic
     precedence graph over the committed history, via {!Dtx.History}),
-    {b mode-lattice} ({!Lattice.check}), and undischarged undo
-    obligations. Violations carry the recent ring-buffer events relevant
-    to the offending transaction — the minimal suffix a human needs. *)
+    {b mode-lattice} ({!Lattice.check}), unresolved in-doubt records, and
+    undischarged undo obligations. Violations carry the recent ring-buffer
+    events relevant to the offending transaction — the minimal suffix a
+    human needs. *)
 
 (** The unified trace event, one constructor per instrumented layer. *)
 type event =
@@ -67,12 +77,20 @@ val create : ?ring:int -> unit -> t
     violation reports. @raise Invalid_argument if [ring < 1]. *)
 
 val attach : ?mutate:(event -> event option) -> t -> Dtx.Cluster.t -> unit
-(** Install this checker's sinks on every layer of [cluster] and enable its
-    history recording. Call before submitting transactions. [mutate] taps
+(** Attach to [cluster] with one {!Dtx.Cluster.attach_tracer} call (all
+    five instrumented layers) and enable its history recording. Call before
+    submitting transactions. [mutate] taps
     the event stream before the checker sees it — return [None] to hide an
     event, or a different event to corrupt it. The self-tests use it to
     prove the checker catches discipline violations (a hidden release, a
     hidden vote) without breaking the actual run. *)
+
+val set_link_oracle :
+  t -> (time:float -> src:int -> dst:int -> bool) option -> unit
+(** Install the fault-plan reachability oracle behind the {b partition}
+    invariant: the predicate returns [true] when the [src -> dst] link is
+    severed (partition or crashed endpoint) at [time]. [None] (default)
+    disables the check. *)
 
 val emit : t -> time:float -> event -> unit
 (** Feed one event directly (scripted schedules in tests — no cluster

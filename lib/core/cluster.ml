@@ -16,12 +16,15 @@ type config = {
   commit : commit_protocol;
   deadlock_policy : Site.deadlock_policy;
   op_timeout_ms : float option;
+  retransmit_ms : float option;
+  txn_timeout_ms : float option;
 }
 
 let default_config ?(protocol = Protocol.Xdgl) () =
   { protocol; cost = Cost.default; deadlock_period_ms = 40.0;
     storage = `Memory; commit = One_phase;
-    deadlock_policy = Site.Detection; op_timeout_ms = None }
+    deadlock_policy = Site.Detection; op_timeout_ms = None;
+    retransmit_ms = None; txn_timeout_ms = None }
 
 type stats = Coordinator.stats = {
   mutable submitted : int;
@@ -34,6 +37,7 @@ type stats = Coordinator.stats = {
   mutable op_undos : int;
   mutable wake_messages : int;
   mutable wounded : int;
+  mutable retransmits : int;
   mutable last_finish : float;
   response_times : float Dtx_util.Vec.t;
   commit_stamps : float Dtx_util.Vec.t;
@@ -55,6 +59,21 @@ type t = {
   mutable detector_merged : Wfg.t;
   mutable history : History.t option;
 }
+
+(* One funnel for every trace stream the analyzer consumes (see
+   {!attach_tracer}). *)
+type trace_event =
+  | Tr_lock of { site : int; ev : Dtx_locks.Table.event }
+  | Tr_net of { src : int; dst : int; dir : Net.dir; msg : Msg.t }
+  | Tr_phase of {
+      txn : int;
+      from_ : Coordinator.phase option;
+      to_ : Coordinator.phase;
+    }
+  | Tr_part of { site : int; ev : Participant.event }
+  | Tr_tick
+
+type tracer = time:float -> trace_event -> unit
 
 let stats t = Coordinator.stats t.coord
 
@@ -86,13 +105,34 @@ let heal_site t ~site = Hashtbl.remove t.failed_sites site
 
 let crash_site t ~site =
   Hashtbl.replace t.failed_sites site ();
-  Site.wipe_volatile t.sites.(site)
+  (* The history mirror must forget accesses whose effects just died with
+     the volatile state, or a post-restart re-execution shows up twice and
+     fabricates precedence cycles. WAL-protected transactions keep theirs:
+     redo replay re-instates a prepared transaction's effects verbatim. *)
+  (match t.history with
+   | None -> ()
+   | Some h ->
+     let wal = t.sites.(site).Site.wal in
+     History.wipe_site h ~site ~keep:(fun txn ->
+         Wal.outcome_of wal txn <> `Unknown));
+  Site.wipe_volatile t.sites.(site);
+  Participant.crash t.participants.(site)
 
 let recover_site t ~site =
   Site.recover_from_storage t.sites.(site);
   (* Presumed abort: in-doubt transactions never reached the store. *)
   ignore (Wal.resolve_presumed_abort t.sites.(site).Site.wal);
   Hashtbl.remove t.failed_sites site
+
+(* The online alternative to {!recover_site}: reload the store, rejoin, and
+   let the participant resolve its in-doubt transactions by querying their
+   coordinators (committed answers replay the WAL redo lists). Used by the
+   chaos harness, where the coordinator may well hold a Committed outcome
+   the blunt presumed-abort of {!recover_site} would contradict. *)
+let restart_site t ~site =
+  Site.recover_from_storage t.sites.(site);
+  Hashtbl.remove t.failed_sites site;
+  Participant.restart t.participants.(site)
 
 let site_failed t site = Hashtbl.mem t.failed_sites site
 
@@ -145,11 +185,11 @@ let detect_deadlocks t =
 let route t ~src ~dst (msg : Msg.t) =
   match msg with
   | Msg.Op_ship _ | Msg.Op_undo _ | Msg.Prepare _ | Msg.Commit _
-  | Msg.Abort _ | Msg.Wfg_request ->
+  | Msg.Abort _ | Msg.Wfg_request | Msg.Outcome_reply _ ->
     Participant.handle t.participants.(dst) ~src msg
   | Msg.Wfg_reply { edges } -> detector_reply t ~src edges
   | Msg.Op_status _ | Msg.Vote _ | Msg.End_ack _ | Msg.Wake _ | Msg.Wound _
-  | Msg.Victim _ ->
+  | Msg.Victim _ | Msg.Outcome_query _ ->
     Coordinator.dispatch t.coord ~src msg
 
 (* ------------------------------------------------------------------ *)
@@ -185,6 +225,8 @@ let create ~sim ~net ~n_sites config ~placements =
   let coord =
     Coordinator.create ~sim ~net ~cost:config.cost ~catalog
       ~commit:config.commit ~op_timeout_ms:config.op_timeout_ms
+      ?retransmit_ms:config.retransmit_ms
+      ?txn_timeout_ms:config.txn_timeout_ms
       ~site_failed:(fun s -> Hashtbl.mem failed_sites s)
       ~n_sites ()
   in
@@ -198,6 +240,11 @@ let create ~sim ~net ~n_sites config ~placements =
           two_phase = config.commit = Two_phase;
           site_failed = (fun () -> Hashtbl.mem failed_sites site.Site.id);
           txn_live = (fun ~txn ~attempt -> Coordinator.txn_live coord ~txn ~attempt);
+          retransmit_ms = config.retransmit_ms;
+          replies = Hashtbl.create 64;
+          txn_seqs = Hashtbl.create 64;
+          ended = Hashtbl.create 64;
+          recovering = Hashtbl.create 4;
           tracer = None })
       sites
   in
@@ -223,6 +270,47 @@ let create ~sim ~net ~n_sites config ~placements =
   t
 
 let shutdown_when_idle t = t.shutdown_requested <- true
+
+(* ------------------------------------------------------------------ *)
+(* Unified tracing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One call installs every per-module trace sink the analyzer needs: the
+   simulator clock, the network dispatch path, the coordinator FSM, each
+   site's lock table and each participant. The sink sees events in the
+   exact causal order the cluster produced them. *)
+let attach_tracer t (f : tracer) =
+  Sim.set_tracer t.sim (Some (fun ~time ~seq:_ -> f ~time Tr_tick));
+  Net.set_tracer t.net
+    (Some
+       (fun ~src ~dst dir msg ->
+         f ~time:(Sim.now t.sim) (Tr_net { src; dst; dir; msg })));
+  Coordinator.set_tracer t.coord
+    (Some
+       (fun ~txn ~from_ ~to_ ->
+         f ~time:(Sim.now t.sim) (Tr_phase { txn; from_; to_ })));
+  Array.iter
+    (fun (site : Site.t) ->
+      let id = site.Site.id in
+      Dtx_locks.Table.set_tracer site.Site.table
+        (Some (fun ev -> f ~time:(Sim.now t.sim) (Tr_lock { site = id; ev }))))
+    t.sites;
+  Array.iter
+    (fun (p : Participant.ctx) ->
+      let id = p.Participant.site.Site.id in
+      p.Participant.tracer <-
+        Some (fun ev -> f ~time:(Sim.now t.sim) (Tr_part { site = id; ev })))
+    t.participants
+
+let detach_tracer t =
+  Sim.set_tracer t.sim None;
+  Net.set_tracer t.net None;
+  Coordinator.set_tracer t.coord None;
+  Array.iter
+    (fun (site : Site.t) -> Dtx_locks.Table.set_tracer site.Site.table None)
+    t.sites;
+  Array.iter (fun (p : Participant.ctx) -> p.Participant.tracer <- None)
+    t.participants
 
 let enable_history t =
   match t.history with

@@ -53,6 +53,16 @@ type config = {
           reply within this delay — the recovery knob for lossy links
           (operation traffic is sent unreliably when the {!Dtx_net.Net} has
           a [drop_pct]); [None] (default) disables timeouts *)
+  retransmit_ms : float option;
+      (** arm coordinator retransmission (exponential backoff, base this
+          many ms) of unreliably-shipped operations and of severed
+          prepare/commit/abort traffic, plus the participant's recovery
+          outcome queries — the fault-plan survival kit; [None] (default)
+          keeps the wire behaviour of the unfaulted protocol *)
+  txn_timeout_ms : float option;
+      (** chaos safety valve: abort any transaction still short of its end
+          protocol after this long (e.g. its Wake died in a never-healed
+          partition); [None] (default) disables it *)
 }
 
 val default_config : ?protocol:Dtx_protocol.Protocol.kind -> unit -> config
@@ -75,6 +85,8 @@ type stats = Coordinator.stats = {
   mutable wounded : int;
       (** wound-wait: transactions aborted because an older requester
           needed their locks *)
+  mutable retransmits : int;
+      (** messages re-sent by the coordinator's backoff timers *)
   mutable last_finish : float;  (** time the last transaction ended *)
   response_times : float Dtx_util.Vec.t;  (** committed transactions only *)
   commit_stamps : float Dtx_util.Vec.t;  (** commit times (Fig. 12 input) *)
@@ -163,6 +175,42 @@ val crash_site : t -> site:int -> unit
     consistent. *)
 
 val recover_site : t -> site:int -> unit
-(** Restart a crashed site: reload its replicas from its durable store (the
-    state of every transaction that committed there) and resume serving.
-    See {!Site.recover_from_storage}. *)
+(** Restart a crashed site {e offline}: reload its replicas from its durable
+    store and resolve every in-doubt WAL transaction as presumed abort on
+    the spot, without consulting anyone. Correct only when no coordinator
+    holds a commit record for them; the chaos harness uses
+    {!restart_site} instead. See {!Site.recover_from_storage}. *)
+
+val restart_site : t -> site:int -> unit
+(** Restart a crashed site {e online}: reload its replicas, rejoin the
+    cluster, and let the participant resolve each in-doubt transaction by
+    querying its coordinator ([Outcome_query], capped backoff) — committed
+    answers replay the WAL redo list, aborted or absent answers are
+    presumed abort. New shipments are refused until recovery completes. *)
+
+(** {2 Unified tracing}
+
+    The analyzer ({!Dtx_check.Checker}) consumes five trace streams —
+    simulator ticks, network dispatch, coordinator phase transitions, lock
+    tables, participant events. {!attach_tracer} installs all five sinks in
+    one call; {!detach_tracer} removes them. *)
+
+type trace_event =
+  | Tr_lock of { site : int; ev : Dtx_locks.Table.event }
+  | Tr_net of { src : int; dst : int; dir : Dtx_net.Net.dir; msg : Dtx_net.Msg.t }
+  | Tr_phase of {
+      txn : int;
+      from_ : Coordinator.phase option;
+      to_ : Coordinator.phase;
+    }
+  | Tr_part of { site : int; ev : Participant.event }
+  | Tr_tick  (** one simulator event executed (clock-monotonicity probes) *)
+
+type tracer = time:float -> trace_event -> unit
+
+val attach_tracer : t -> tracer -> unit
+(** Install [f] as the sink of all five trace streams. Events arrive in the
+    causal order the cluster produced them; a later call replaces the
+    earlier sink. *)
+
+val detach_tracer : t -> unit

@@ -22,6 +22,7 @@ type stats = {
   mutable op_undos : int;
   mutable wake_messages : int;
   mutable wounded : int;
+  mutable retransmits : int;
   mutable last_finish : float;
   response_times : float Vec.t;
   commit_stamps : float Vec.t;
@@ -31,7 +32,7 @@ type stats = {
 let fresh_stats () =
   { submitted = 0; committed = 0; aborted = 0; failed = 0; deadlock_aborts = 0;
     distributed_deadlocks = 0; local_deadlocks = 0; op_undos = 0;
-    wake_messages = 0; wounded = 0; last_finish = 0.0;
+    wake_messages = 0; wounded = 0; retransmits = 0; last_finish = 0.0;
     response_times = Vec.create ();
     commit_stamps = Vec.create (); concurrency_samples = Vec.create () }
 
@@ -56,13 +57,19 @@ type txn_state = {
   mutable sites_done : int list;  (** participants that executed this attempt *)
   mutable awaiting_site : int option;
       (** participant whose status reply is outstanding (timeout guard) *)
+  mutable awaiting_seq : int option;
+      (** sequence number of the outstanding shipment — a status reply
+          carrying any other seq is a stale duplicate and is dropped *)
   mutable wake_pending : bool;
       (** a wake arrived while this attempt was in flight; retry instead of
           sleeping (prevents the lost-wakeup race) *)
   mutable prepared : bool;  (** 2PC: the vote round completed successfully *)
   mutable end_commit : bool;  (** the in-flight end protocol is a commit *)
-  mutable end_acks_pending : int;
-  mutable end_ack_failed : bool;
+  mutable pending_sites : int list;
+      (** sites whose vote / end-ack is still outstanding in the current
+          round; per-site membership makes duplicated replies harmless *)
+  mutable round_failed : bool;
+  mutable round : int;  (** vote/end round counter (staleness guard) *)
   mutable reason : end_reason;
 }
 
@@ -88,21 +95,30 @@ type t = {
   catalog : Allocation.catalog;
   commit : commit_protocol;
   op_timeout_ms : float option;
+  retransmit_ms : float option;
+  txn_timeout_ms : float option;
   site_failed : int -> bool;
   n_sites : int;
   txns : (int, txn_state) Hashtbl.t;
+  outcomes : (int, bool * int) Hashtbl.t;
+      (** txn → (committed, coordinator site), recorded at finalize — the
+          durable-enough answer store for recovery outcome queries *)
   mutable next_txn_id : int;
+  mutable next_seq : int;
   stats : stats;
   mutable active : int;
   mutable history : History.t option;
   mutable tracer : phase_tracer option;
 }
 
-let create ~sim ~net ~cost ~catalog ~commit ~op_timeout_ms ~site_failed
-    ~n_sites () =
-  { sim; net; cost; catalog; commit; op_timeout_ms; site_failed; n_sites;
+let create ~sim ~net ~cost ~catalog ~commit ~op_timeout_ms ?retransmit_ms
+    ?txn_timeout_ms ~site_failed ~n_sites () =
+  { sim; net; cost; catalog; commit; op_timeout_ms; retransmit_ms;
+    txn_timeout_ms; site_failed; n_sites;
     txns = Hashtbl.create 128;
+    outcomes = Hashtbl.create 128;
     next_txn_id = 1;
+    next_seq = 1;
     stats = fresh_stats ();
     active = 0;
     history = None;
@@ -159,6 +175,29 @@ let singleton_site t doc =
   match Allocation.sites_of t.catalog doc with
   | [ s ] -> Some s
   | _ -> None
+
+(* Retransmission (enabled by [retransmit_ms]): re-send with exponential
+   backoff while [still_pending ()] holds; after [max_retransmits] resends
+   hand the problem to [give_up]. With [retransmit_ms = None] (the default)
+   nothing is scheduled and the protocol behaves exactly as before. *)
+let max_retransmits = 8
+
+let retransmit_loop t ~still_pending ~resend ~give_up =
+  match t.retransmit_ms with
+  | None -> ()
+  | Some base ->
+    let rec arm ~delay ~tries =
+      ignore
+        (Sim.schedule t.sim ~delay (fun () ->
+             if still_pending () then
+               if tries >= max_retransmits then give_up ()
+               else begin
+                 t.stats.retransmits <- t.stats.retransmits + 1;
+                 resend ();
+                 arm ~delay:(delay *. 2.0) ~tries:(tries + 1)
+               end))
+    in
+    arm ~delay:base ~tries:0
 
 (* ------------------------------------------------------------------ *)
 (* Algorithm 1: ship operations, site by site                          *)
@@ -224,6 +263,9 @@ and visit_next_site t (st : txn_state) =
   | dst :: rest ->
     st.sites_left <- rest;
     st.awaiting_site <- Some dst;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    st.awaiting_seq <- Some seq;
     set_phase t st Awaiting_replies;
     let attempt = st.attempt in
     let shipments =
@@ -232,8 +274,26 @@ and visit_next_site t (st : txn_state) =
           { Msg.s_index = r.Txn.op_index; s_doc = r.Txn.doc; s_op = r.Txn.op })
         st.batch
     in
-    Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst ~reliable:false
-      (Msg.Op_ship { txn = st.txn.Txn.id; attempt; ops = shipments });
+    let msg = Msg.Op_ship { txn = st.txn.Txn.id; attempt; seq; ops = shipments } in
+    let ship () =
+      Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst ~channel:Unreliable msg
+    in
+    ship ();
+    (* The shipment (and its status reply) ride the unreliable channel: the
+       same seq is re-shipped on a backoff timer until the reply lands, and
+       the participant's (txn, seq) cache absorbs the duplicates. *)
+    let still_pending () =
+      Hashtbl.mem t.txns st.txn.Txn.id
+      && st.phase = Awaiting_replies
+      && st.awaiting_seq = Some seq
+    in
+    retransmit_loop t ~still_pending ~resend:ship ~give_up:(fun () ->
+        if still_pending () then begin
+          st.reason <-
+            Reason_op_failure
+              (Printf.sprintf "shipment undeliverable at site %d" dst);
+          start_end_protocol t st ~commit:false
+        end);
     (match t.op_timeout_ms with
      | None -> ()
      | Some timeout ->
@@ -254,12 +314,16 @@ and visit_next_site t (st : txn_state) =
                 start_end_protocol t st ~commit:false
               end)))
 
-and handle_op_status t ~src ~txn ~attempt ~granted status =
+and handle_op_status t ~src ~txn ~attempt ~seq ~granted status =
   match Hashtbl.find_opt t.txns txn with
   | None -> ()
   | Some st ->
-    if st.attempt = attempt && st.phase = Awaiting_replies then begin
+    if
+      st.attempt = attempt && st.phase = Awaiting_replies
+      && st.awaiting_seq = Some seq
+    then begin
       st.awaiting_site <- None;
+      st.awaiting_seq <- None;
       match (status : Msg.op_status) with
       | Msg.Deadlock ->
         t.stats.local_deadlocks <- t.stats.local_deadlocks + 1;
@@ -381,87 +445,132 @@ and start_end_protocol t (st : txn_state) ~commit =
 and begin_ending t (st : txn_state) ~commit =
   set_phase t st Ending;
   st.end_commit <- commit;
-  st.end_ack_failed <- false;
+  st.round_failed <- false;
+  st.round <- st.round + 1;
+  let round = st.round in
   let sites_involved = involved_sites t st in
-  st.end_acks_pending <- List.length sites_involved;
+  st.pending_sites <- sites_involved;
   Log.debug (fun m ->
       m "t%d %s across [%s]" st.txn.Txn.id
         (if commit then "commit" else "abort")
         (String.concat ";" (List.map string_of_int sites_involved)));
   if sites_involved = [] then
     finalize t st (if commit then Txn.Committed else Txn.Aborted)
-  else
-    List.iter
-      (fun dst ->
-        Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst
-          (if commit then Msg.Commit { txn = st.txn.Txn.id }
-           else Msg.Abort { txn = st.txn.Txn.id; quiet = false }))
-      sites_involved
+  else begin
+    let msg =
+      if commit then Msg.Commit { txn = st.txn.Txn.id }
+      else Msg.Abort { txn = st.txn.Txn.id; quiet = false }
+    in
+    let send_pending () =
+      List.iter
+        (fun dst -> Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst msg)
+        st.pending_sites
+    in
+    send_pending ();
+    (* Commit/abort ride the reliable channel, but a partition (or crashed
+       site) severs even that: keep nudging the silent sites. A site that
+       already applied the outcome re-acknowledges idempotently. If the
+       round never completes, conclude anyway — a commit is safe to
+       finalize (the decision is recorded; an unreachable site resolves it
+       by recovery query or a later retransmission), an abort falls back to
+       the fail broadcast (Alg. 6 l. 6-9). *)
+    retransmit_loop t
+      ~still_pending:(fun () ->
+        Hashtbl.mem t.txns st.txn.Txn.id
+        && st.phase = Ending && st.round = round && st.pending_sites <> [])
+      ~resend:send_pending
+      ~give_up:(fun () -> conclude_ending t st ~forced:true)
+  end
 
 (* 2PC phase one: collect votes; every participant durably logs Prepared
    before voting yes. *)
 and start_prepare_phase t (st : txn_state) =
   set_phase t st Preparing;
+  st.round_failed <- false;
+  st.round <- st.round + 1;
+  let round = st.round in
   let sites_involved = involved_sites t st in
-  st.end_acks_pending <- List.length sites_involved;
-  st.end_ack_failed <- false;
+  st.pending_sites <- sites_involved;
   Log.debug (fun m ->
       m "t%d prepare across [%s]" st.txn.Txn.id
         (String.concat ";" (List.map string_of_int sites_involved)));
-  List.iter
-    (fun dst ->
-      Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst
-        (Msg.Prepare { txn = st.txn.Txn.id }))
-    sites_involved
+  let msg = Msg.Prepare { txn = st.txn.Txn.id } in
+  let send_pending () =
+    List.iter
+      (fun dst -> Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst msg)
+      st.pending_sites
+  in
+  send_pending ();
+  (* A participant that logged Prepared re-votes from its WAL, so resending
+     is idempotent; a vote round that never completes is a no-vote. *)
+  retransmit_loop t
+    ~still_pending:(fun () ->
+      Hashtbl.mem t.txns st.txn.Txn.id
+      && st.phase = Preparing && st.round = round && st.pending_sites <> [])
+    ~resend:send_pending
+    ~give_up:(fun () ->
+      if st.phase = Preparing && st.round = round && st.pending_sites <> []
+      then begin
+        st.reason <- Reason_op_failure "prepare phase timed out";
+        begin_ending t st ~commit:false
+      end)
 
-and handle_vote t ~txn ~ok =
+and conclude_prepare t (st : txn_state) =
+  if st.round_failed then begin
+    (* A participant voted no: abort (its Prepared record, if any,
+       resolves as presumed abort). *)
+    st.reason <- Reason_op_failure "prepare phase rejected";
+    begin_ending t st ~commit:false
+  end
+  else begin
+    st.prepared <- true;
+    begin_ending t st ~commit:true
+  end
+
+and handle_vote t ~src ~txn ~ok =
   match Hashtbl.find_opt t.txns txn with
   | None -> ()
   | Some st ->
-    if st.phase = Preparing then begin
-      if not ok then st.end_ack_failed <- true;
-      st.end_acks_pending <- st.end_acks_pending - 1;
-      if st.end_acks_pending = 0 then
-        if st.end_ack_failed then begin
-          (* A participant voted no: abort (its Prepared record, if any,
-             resolves as presumed abort). *)
-          st.reason <- Reason_op_failure "prepare phase rejected";
-          begin_ending t st ~commit:false
-        end
-        else begin
-          st.prepared <- true;
-          begin_ending t st ~commit:true
-        end
+    if st.phase = Preparing && List.mem src st.pending_sites then begin
+      if not ok then st.round_failed <- true;
+      st.pending_sites <- List.filter (fun s -> s <> src) st.pending_sites;
+      if st.pending_sites = [] then conclude_prepare t st
     end
 
-and handle_end_ack t ~txn ~ok =
+and conclude_ending t (st : txn_state) ~forced =
+  let failed = st.round_failed || (forced && st.pending_sites <> []) in
+  if st.end_commit then begin
+    if failed && not forced then begin
+      (* Commit could not complete at some site: abort (Alg. 5 l. 6). *)
+      st.reason <- Reason_op_failure "commit rejected at a site";
+      begin_ending t st ~commit:false
+    end
+    else
+      (* [forced]: the decision stands even if a site is unreachable — it
+         learns the outcome from a recovery query or later delivery. *)
+      finalize t st Txn.Committed
+  end
+  else if failed then begin
+    (* Abort could not complete: tell everyone to fail the transaction
+       (Alg. 6 l. 6-9). *)
+    List.iter
+      (fun dst ->
+        if not (t.site_failed dst) then
+          Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst
+            (Msg.Abort { txn = st.txn.Txn.id; quiet = true }))
+      (involved_sites t st);
+    finalize t st Txn.Failed
+  end
+  else finalize t st Txn.Aborted
+
+and handle_end_ack t ~src ~txn ~ok =
   match Hashtbl.find_opt t.txns txn with
   | None -> ()
   | Some st ->
-    if st.phase = Ending then begin
-      if not ok then st.end_ack_failed <- true;
-      st.end_acks_pending <- st.end_acks_pending - 1;
-      if st.end_acks_pending = 0 then
-        if st.end_commit then begin
-          if st.end_ack_failed then begin
-            (* Commit could not complete at some site: abort (Alg. 5 l. 6). *)
-            st.reason <- Reason_op_failure "commit rejected at a site";
-            begin_ending t st ~commit:false
-          end
-          else finalize t st Txn.Committed
-        end
-        else if st.end_ack_failed then begin
-          (* Abort could not complete: tell everyone to fail the transaction
-             (Alg. 6 l. 6-9). *)
-          List.iter
-            (fun dst ->
-              if not (t.site_failed dst) then
-                Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst
-                  (Msg.Abort { txn = st.txn.Txn.id; quiet = true }))
-            (involved_sites t st);
-          finalize t st Txn.Failed
-        end
-        else finalize t st Txn.Aborted
+    if st.phase = Ending && List.mem src st.pending_sites then begin
+      if not ok then st.round_failed <- true;
+      st.pending_sites <- List.filter (fun s -> s <> src) st.pending_sites;
+      if st.pending_sites = [] then conclude_ending t st ~forced:false
     end
 
 and finalize t (st : txn_state) status =
@@ -474,6 +583,8 @@ and finalize t (st : txn_state) status =
   st.txn.Txn.finished_at <- Sim.now t.sim;
   t.stats.last_finish <- Sim.now t.sim;
   Hashtbl.remove t.txns st.txn.Txn.id;
+  Hashtbl.replace t.outcomes st.txn.Txn.id
+    (status = Txn.Committed, st.txn.Txn.coordinator);
   t.active <- t.active - 1;
   sample_concurrency t;
   (match (status, t.history) with
@@ -494,21 +605,41 @@ and finalize t (st : txn_state) status =
    | Txn.Active | Txn.Waiting -> assert false);
   st.on_finish st.txn
 
+(* A recovering participant asking how an in-doubt transaction ended.
+   Finalized: answer from the outcome store. Still deciding: stay silent —
+   the participant's backoff re-asks, and an answer exists once the
+   decision is made. Never heard of: silence too; the participant's capped
+   retry then resolves it as presumed abort, which is right. *)
+let handle_outcome_query t ~src ~txn =
+  match Hashtbl.find_opt t.outcomes txn with
+  | Some (committed, coord) ->
+    Net.dispatch t.net ~src:coord ~dst:src ~channel:Unreliable
+      (Msg.Outcome_reply { txn; committed })
+  | None -> (
+    match Hashtbl.find_opt t.txns txn with
+    | Some st when st.phase = Ending ->
+      (* Decided but not yet finalized: the outcome is already fixed. *)
+      Net.dispatch t.net ~src:st.txn.Txn.coordinator ~dst:src
+        ~channel:Unreliable
+        (Msg.Outcome_reply { txn; committed = st.end_commit })
+    | _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let dispatch t ~src (msg : Msg.t) =
   match msg with
-  | Msg.Op_status { txn; attempt; granted; status; _ } ->
-    handle_op_status t ~src ~txn ~attempt ~granted status
-  | Msg.Vote { txn; ok } -> handle_vote t ~txn ~ok
-  | Msg.End_ack { txn; ok } -> handle_end_ack t ~txn ~ok
+  | Msg.Op_status { txn; attempt; seq; granted; status; _ } ->
+    handle_op_status t ~src ~txn ~attempt ~seq ~granted status
+  | Msg.Vote { txn; ok } -> handle_vote t ~src ~txn ~ok
+  | Msg.End_ack { txn; ok } -> handle_end_ack t ~src ~txn ~ok
   | Msg.Wake { txn } -> handle_wake t ~txn
   | Msg.Wound { txn } -> handle_wound t ~txn
   | Msg.Victim { txn } -> handle_victim t ~txn
+  | Msg.Outcome_query { txn } -> handle_outcome_query t ~src ~txn
   | Msg.Op_ship _ | Msg.Op_undo _ | Msg.Prepare _ | Msg.Commit _
-  | Msg.Abort _ | Msg.Wfg_request | Msg.Wfg_reply _ ->
+  | Msg.Abort _ | Msg.Wfg_request | Msg.Wfg_reply _ | Msg.Outcome_reply _ ->
     (* participant-bound: not ours *)
     ()
 
@@ -520,8 +651,9 @@ let submit t ~client ~coordinator ~ops ~on_finish =
   let st =
     { txn; on_finish; phase = Executing; attempt = 0; batch = [];
       sites_left = []; sites_done = []; awaiting_site = None;
-      wake_pending = false; prepared = false; end_commit = false;
-      end_acks_pending = 0; end_ack_failed = false; reason = Reason_normal }
+      awaiting_seq = None; wake_pending = false; prepared = false;
+      end_commit = false; pending_sites = []; round_failed = false;
+      round = 0; reason = Reason_normal }
   in
   Hashtbl.replace t.txns id st;
   (match t.tracer with
@@ -530,6 +662,21 @@ let submit t ~client ~coordinator ~ops ~on_finish =
   t.stats.submitted <- t.stats.submitted + 1;
   t.active <- t.active + 1;
   sample_concurrency t;
+  (* The chaos safety valve: a transaction stranded by faults the
+     retransmission layer cannot beat (e.g. a never-healed partition
+     swallowing its Wake) is aborted outright after [txn_timeout_ms].
+     Transactions already in their end protocol are left to the
+     retransmission give-up paths. *)
+  (match t.txn_timeout_ms with
+   | None -> ()
+   | Some timeout ->
+     ignore
+       (Sim.schedule t.sim ~delay:timeout (fun () ->
+            if Hashtbl.mem t.txns id && not (finishing st) then begin
+              Log.debug (fun m -> m "t%d transaction timeout" id);
+              st.reason <- Reason_op_failure "transaction timed out";
+              start_end_protocol t st ~commit:false
+            end)));
   ignore
     (Sim.schedule t.sim ~delay:t.cost.Cost.sched_ms (fun () ->
          coordinator_step t st));

@@ -20,7 +20,19 @@
     multi-site operations still traverse their replica sites one by one.
 
     All incoming coordinator-bound messages ([Op_status], [Vote],
-    [End_ack], [Wake], [Wound], [Victim]) enter through {!dispatch}. *)
+    [End_ack], [Wake], [Wound], [Victim], [Outcome_query]) enter through
+    {!dispatch}.
+
+    Unreliable-channel recovery: operation shipments carry a global
+    sequence number and are retransmitted with exponential backoff (when
+    [retransmit_ms] is set) until their status reply lands; participants
+    deduplicate by [(txn, seq)], so duplicated or replayed shipments never
+    double-apply. Prepare and commit/abort rounds track outstanding
+    {e per-site} acknowledgements — duplicated votes/acks are harmless —
+    and are likewise nudged under retransmission. The coordinator records
+    every finalized outcome so a crashed-and-restarted participant can
+    resolve its in-doubt transactions with [Outcome_query]; unknown
+    transactions are presumed aborted. *)
 
 type commit_protocol = One_phase | Two_phase
 
@@ -53,6 +65,7 @@ type stats = {
   mutable op_undos : int;
   mutable wake_messages : int;
   mutable wounded : int;
+  mutable retransmits : int;
   mutable last_finish : float;
   response_times : float Dtx_util.Vec.t;
   commit_stamps : float Dtx_util.Vec.t;
@@ -68,10 +81,18 @@ val create :
   catalog:Dtx_frag.Allocation.catalog ->
   commit:commit_protocol ->
   op_timeout_ms:float option ->
+  ?retransmit_ms:float ->
+  ?txn_timeout_ms:float ->
   site_failed:(int -> bool) ->
   n_sites:int ->
   unit ->
   t
+(** [retransmit_ms] (default [None] — off) arms exponential-backoff
+    retransmission of shipments, prepares and commit/abort messages, plus
+    the give-up fallbacks that keep transactions from stranding when a
+    destination stays unreachable. [txn_timeout_ms] (default [None]) is the
+    chaos safety valve: a transaction still short of its end protocol after
+    that long is aborted outright. *)
 
 val submit :
   t ->

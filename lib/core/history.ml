@@ -16,6 +16,7 @@ type access = {
 type t = {
   log : access Vec.t;
   invalidated : (int * int * int, unit) Hashtbl.t;
+  wiped : (int, unit) Hashtbl.t;  (* log indices whose effects died in a crash *)
   commits : (int, float) Hashtbl.t;
   aborted : (int, unit) Hashtbl.t;
 }
@@ -23,6 +24,7 @@ type t = {
 let create () =
   { log = Vec.create ();
     invalidated = Hashtbl.create 64;
+    wiped = Hashtbl.create 16;
     commits = Hashtbl.create 64;
     aborted = Hashtbl.create 64 }
 
@@ -36,6 +38,22 @@ let record t ~time ~site ~txn ~op_index ~attempt grants =
 
 let invalidate t ~txn ~op_index ~attempt =
   Hashtbl.replace t.invalidated (txn, op_index, attempt) ()
+
+(* A crash wipes the site's volatile effects, so accesses recorded there
+   describe state that no longer exists: a retransmitted shipment re-executes
+   against the recovered store and records fresh accesses at a later time.
+   Keeping the dead recording would order the re-executed transaction both
+   before and after its conflict partners — a phantom cycle. Transactions
+   [keep] says are WAL-protected stay: a prepared one is re-instated
+   verbatim by redo replay, a finished one was already durable. Wiping by
+   log index leaves any post-restart re-recording of the same operation
+   untouched. *)
+let wipe_site t ~site ~keep =
+  Vec.iteri
+    (fun idx a ->
+      if a.a_site = site && not (keep a.a_txn) then
+        Hashtbl.replace t.wiped idx ())
+    t.log
 
 let note_commit t ~txn ~time = Hashtbl.replace t.commits txn time
 
@@ -51,8 +69,12 @@ let valid t a =
   && not (Hashtbl.mem t.invalidated (a.a_txn, a.a_op, a.a_attempt))
 
 let accesses t =
-  Vec.fold_left (fun acc a -> if valid t a then a :: acc else acc) [] t.log
-  |> List.sort (fun a b -> compare a.a_time b.a_time)
+  let acc = ref [] in
+  Vec.iteri
+    (fun idx a ->
+      if valid t a && not (Hashtbl.mem t.wiped idx) then acc := a :: !acc)
+    t.log;
+  List.sort (fun a b -> compare a.a_time b.a_time) !acc
 
 let conflict_edges t =
   (* Group valid accesses per (site, resource); a conflicting pair in time

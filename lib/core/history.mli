@@ -34,6 +34,14 @@ val record :
 val invalidate : t -> txn:int -> op_index:int -> attempt:int -> unit
 (** The attempt's effects were undone; its accesses no longer count. *)
 
+val wipe_site : t -> site:int -> keep:(int -> bool) -> unit
+(** A crash erased [site]'s volatile effects: accesses recorded there so
+    far no longer describe reachable state and are dropped from the
+    conflict graph — except those of transactions [keep] accepts
+    (WAL-protected: prepared ones are re-instated verbatim by redo replay,
+    finished ones were already durable). Post-restart re-executions record
+    fresh accesses and are unaffected. *)
+
 val note_commit : t -> txn:int -> time:float -> unit
 
 val note_abort : t -> txn:int -> unit

@@ -7,7 +7,20 @@
     acknowledge), the 2PC prepare/vote leg, cross-site operation undo
     (Alg. 1 l. 16), and the detector's wait-for-graph request (Alg. 4
     l. 4). Every reply it emits goes back through {!Dtx_net.Net.dispatch} —
-    the participant holds no reference to any coordinator state. *)
+    the participant holds no reference to any coordinator state.
+
+    Delivery is {e at-most-once}: each operation shipment carries a
+    [(txn, seq)] key, and the participant caches its final reply per key,
+    so a retransmitted or fault-duplicated shipment is answered from the
+    cache instead of re-executed. Commit/abort and prepare are idempotent
+    via the ended-set and the WAL respectively.
+
+    Crash/restart (the chaos harness): {!crash} marks the loss of all
+    volatile state (the owning {!Site} is wiped separately); {!restart}
+    reads the surviving WAL and resolves every in-doubt transaction by
+    querying its coordinator ([Msg.Outcome_query]) — a committed answer
+    replays the durable redo list, an aborted or absent answer is presumed
+    abort (paper §5 future work). *)
 
 (** Local state changes the analyzer cares about, emitted at the moment the
     site applied them (not when the corresponding reply is delivered). *)
@@ -17,7 +30,17 @@ type event =
   | Prepared of { txn : int }  (** the Prepared record hit the WAL *)
   | Finished of { txn : int; committed : bool }
       (** commit/abort applied locally: effects persisted or undone, locks
-          released (quiet aborts included) *)
+          released (quiet aborts and recovery resolutions included) *)
+  | Executed of { txn : int; seq : int }
+      (** shipment [seq] actually ran here — emitted once per fresh
+          execution, never for a cache-answered duplicate (the checker's
+          double-apply invariant watches this) *)
+  | Crashed  (** volatile state lost *)
+  | Restarted  (** back up; recovery may follow *)
+  | Recovery_begun of { in_doubt : int list }
+      (** the WAL scan at restart: transactions to resolve *)
+  | Recovery_resolved of { txn : int; committed : bool }
+      (** one in-doubt transaction settled (redo replayed if committed) *)
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -36,6 +59,19 @@ type ctx = {
           have been aborted while the message was in flight, and executing
           for a dead transaction would leak effects no later abort cleans
           up *)
+  retransmit_ms : float option;
+      (** backoff base for recovery outcome queries; [None] sends each
+          query once (enough on a lossless, fault-free link) *)
+  replies : (int * int, Dtx_net.Msg.t option) Hashtbl.t;
+      (** (txn, seq) → cached final reply ([None] while executing) — the
+          at-most-once dedup table; wiped by {!crash} *)
+  txn_seqs : (int, int list ref) Hashtbl.t;
+      (** txn → its cached seqs, for per-transaction cleanup at end *)
+  ended : (int, bool) Hashtbl.t;
+      (** txn → outcome applied here, for idempotent Commit/Abort *)
+  recovering : (int, unit) Hashtbl.t;
+      (** in-doubt transactions awaiting an outcome after {!restart}; new
+          shipments are refused ("recovering") while non-empty *)
   mutable tracer : (event -> unit) option;
       (** trace sink; [None] (the default) costs one immediate [match] per
           would-be event *)
@@ -43,5 +79,19 @@ type ctx = {
 
 val handle : ctx -> src:int -> Dtx_net.Msg.t -> unit
 (** Consume one participant-bound message ([Op_ship], [Op_undo],
-    [Prepare], [Commit], [Abort], [Wfg_request]); coordinator-bound
-    messages are ignored. *)
+    [Prepare], [Commit], [Abort], [Wfg_request], [Outcome_reply]);
+    coordinator-bound messages are ignored. *)
+
+val crash : ctx -> unit
+(** Drop all volatile participant state (dedup cache, ended set, recovery
+    set) and emit [Crashed]. The caller wipes the {!Site} itself. *)
+
+val restart : ctx -> unit
+(** Begin recovery: emit [Restarted] and [Recovery_begun], then resolve
+    each WAL in-doubt transaction by querying its coordinator with
+    capped exponential backoff; exhaustion resolves as presumed abort.
+    Call after {!Site.recover_from_storage}. *)
+
+val recovering : ctx -> int list
+(** In-doubt transactions still unresolved (sorted); [[]] once recovery is
+    complete. *)

@@ -49,6 +49,7 @@ type t = {
 
 and op_effect = {
   eff_doc : string;
+  eff_op : Op.t;
   eff_attempt : int;
   eff_requests : (Table.resource * Dtx_locks.Mode.t) list;
   eff_undo : Exec.undo_entry list;
@@ -159,6 +160,7 @@ let process_operation_fresh t ~txn ~op_index ~attempt ~doc:doc_name op =
         Protocol.note_applied t.protocol ~doc:doc_name effect.Exec.dg;
         Hashtbl.replace t.op_effects (txn, op_index)
           { eff_doc = doc_name;
+            eff_op = op;
             eff_attempt = attempt;
             eff_requests = requests;
             eff_undo = effect.Exec.undo;
@@ -221,6 +223,54 @@ let txn_docs_touched t ~txn =
         | _ -> None)
       !l
     |> List.sort_uniq compare
+
+(* The redo list a Prepared WAL record carries: this transaction's update
+   operations here, oldest first, in their wire (textual) form. Queries are
+   omitted — replaying them would change nothing. *)
+let txn_redo t ~txn =
+  match Hashtbl.find_opt t.txn_ops txn with
+  | None -> []
+  | Some l ->
+    List.rev !l
+    |> List.filter_map (fun op_index ->
+        match Hashtbl.find_opt t.op_effects (txn, op_index) with
+        | Some eff when eff.eff_undo <> [] ->
+          Some (eff.eff_doc, Op.to_string eff.eff_op)
+        | _ -> None)
+
+(* Recovery commit: the volatile effects died with the crash, so re-apply
+   the durable redo list against the recovered (last-committed) replicas
+   and persist the result — the write-back the lost commit would have
+   done. *)
+let replay_redo t redo =
+  let rec go touched = function
+    | [] -> Ok touched
+    | (doc_name, op_text) :: rest -> (
+      match Protocol.doc t.protocol doc_name with
+      | None -> Error (Printf.sprintf "redo: no replica of %s" doc_name)
+      | Some doc -> (
+        match Op.parse op_text with
+        | Error e -> Error (Printf.sprintf "redo: bad operation %S: %s" op_text e)
+        | Ok op -> (
+          match Exec.apply doc op with
+          | Error e ->
+            Error
+              (Printf.sprintf "redo: %s failed: %s" op_text
+                 (Exec.error_to_string e))
+          | Ok effect ->
+            Protocol.note_applied t.protocol ~doc:doc_name effect.Exec.dg;
+            go (List.sort_uniq compare (doc_name :: touched)) rest)))
+  in
+  match go [] redo with
+  | Error _ as e -> e
+  | Ok touched ->
+    List.iter
+      (fun doc_name ->
+        match Protocol.doc t.protocol doc_name with
+        | Some doc -> Storage.store t.storage doc
+        | None -> ())
+      touched;
+    Ok touched
 
 let txn_touched_total t ~txn =
   match Hashtbl.find_opt t.txn_ops txn with

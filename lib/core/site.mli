@@ -87,6 +87,7 @@ type t = {
 
 and op_effect = {
   eff_doc : string;
+  eff_op : Dtx_update.Op.t;  (** the operation itself (redo logging) *)
   eff_attempt : int;  (** coordinator attempt that produced this effect *)
   eff_requests : (Dtx_locks.Table.resource * Dtx_locks.Mode.t) list;
   eff_undo : Dtx_update.Exec.undo_entry list;
@@ -144,6 +145,16 @@ val finish_txn : t -> txn:int -> commit:bool -> waiter list
 
 val txn_docs_touched : t -> txn:int -> string list
 (** Documents this transaction updated at this site. *)
+
+val txn_redo : t -> txn:int -> (string * string) list
+(** The redo list a [Wal.Prepared] record carries: this transaction's
+    update operations at this site, oldest first, as
+    [(document, operation text)] pairs. Queries are omitted. *)
+
+val replay_redo : t -> (string * string) list -> (string list, string) result
+(** Re-apply a durable redo list against the recovered replicas and persist
+    the touched documents — the write-back a crash-lost commit would have
+    done. Returns the documents persisted. *)
 
 val txn_touched_total : t -> txn:int -> int
 (** Total document nodes this transaction wrote at this site (sizes the

@@ -1,7 +1,12 @@
 module Vec = Dtx_util.Vec
 
 type entry =
-  | Prepared of { txn : int; time : float }
+  | Prepared of {
+      txn : int;
+      time : float;
+      coord : int;
+      redo : (string * string) list;
+    }
   | Committed of { txn : int; time : float }
   | Aborted of { txn : int; time : float }
 
@@ -40,6 +45,15 @@ let in_doubt t =
   Hashtbl.fold (fun txn pending acc -> if pending then txn :: acc else acc)
     prepared []
   |> List.sort compare
+
+let prepared_record t txn =
+  Vec.fold_left
+    (fun acc e ->
+      match e with
+      | Prepared { txn = txn'; coord; redo; _ } when txn' = txn ->
+        Some (coord, redo)
+      | _ -> acc)
+    None t.log
 
 let resolve_presumed_abort t =
   let pending = in_doubt t in

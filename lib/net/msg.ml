@@ -13,10 +13,11 @@ type shipment = {
 }
 
 type t =
-  | Op_ship of { txn : int; attempt : int; ops : shipment list }
+  | Op_ship of { txn : int; attempt : int; seq : int; ops : shipment list }
   | Op_status of {
       txn : int;
       attempt : int;
+      seq : int;
       granted : int;
       status : op_status;
       result_bytes : int;
@@ -32,6 +33,8 @@ type t =
   | Victim of { txn : int }
   | Wfg_request
   | Wfg_reply of { edges : (int * int) list }
+  | Outcome_query of { txn : int }
+  | Outcome_reply of { txn : int; committed : bool }
 
 module Kind = struct
   type t =
@@ -48,12 +51,15 @@ module Kind = struct
     | Victim
     | Wfg_request
     | Wfg_reply
+    | Outcome_query
+    | Outcome_reply
 
   let all =
     [ Op_ship; Op_status; Op_undo; Prepare; Vote; Commit; Abort; End_ack;
-      Wake; Wound; Victim; Wfg_request; Wfg_reply ]
+      Wake; Wound; Victim; Wfg_request; Wfg_reply; Outcome_query;
+      Outcome_reply ]
 
-  let count = 13
+  let count = 15
 
   let index = function
     | Op_ship -> 0
@@ -69,6 +75,8 @@ module Kind = struct
     | Victim -> 10
     | Wfg_request -> 11
     | Wfg_reply -> 12
+    | Outcome_query -> 13
+    | Outcome_reply -> 14
 
   let to_string = function
     | Op_ship -> "op_ship"
@@ -84,6 +92,8 @@ module Kind = struct
     | Victim -> "victim"
     | Wfg_request -> "wfg_request"
     | Wfg_reply -> "wfg_reply"
+    | Outcome_query -> "outcome_query"
+    | Outcome_reply -> "outcome_reply"
 end
 
 let kind = function
@@ -100,6 +110,8 @@ let kind = function
   | Victim _ -> Kind.Victim
   | Wfg_request -> Kind.Wfg_request
   | Wfg_reply _ -> Kind.Wfg_reply
+  | Outcome_query _ -> Kind.Outcome_query
+  | Outcome_reply _ -> Kind.Outcome_reply
 
 (* --- encoding ------------------------------------------------------- *)
 
@@ -124,9 +136,10 @@ let encode m =
   let b = Buffer.create 32 in
   Buffer.add_char b (Char.chr (Kind.index (kind m)));
   (match m with
-   | Op_ship { txn; attempt; ops } ->
+   | Op_ship { txn; attempt; seq; ops } ->
      put_varint b txn;
      put_varint b attempt;
+     put_varint b seq;
      put_varint b (List.length ops);
      List.iter
        (fun s ->
@@ -134,9 +147,10 @@ let encode m =
          put_string b s.s_doc;
          put_string b (Op.to_string s.s_op))
        ops
-   | Op_status { txn; attempt; granted; status; result_bytes } ->
+   | Op_status { txn; attempt; seq; granted; status; result_bytes } ->
      put_varint b txn;
      put_varint b attempt;
+     put_varint b seq;
      put_varint b granted;
      (match status with
       | Granted -> Buffer.add_char b '\000'
@@ -151,11 +165,14 @@ let encode m =
      put_varint b op_index;
      put_varint b attempt
    | Prepare { txn } | Commit { txn } | Wake { txn } | Wound { txn }
-   | Victim { txn } ->
+   | Victim { txn } | Outcome_query { txn } ->
      put_varint b txn
    | Vote { txn; ok } | End_ack { txn; ok } ->
      put_varint b txn;
      put_bool b ok
+   | Outcome_reply { txn; committed } ->
+     put_varint b txn;
+     put_bool b committed
    | Abort { txn; quiet } ->
      put_varint b txn;
      put_bool b quiet
@@ -219,6 +236,7 @@ let decode s =
         | 0 ->
           let txn = varint () in
           let attempt = varint () in
+          let seq = varint () in
           let n = varint () in
           let ops =
             List.init n (fun _ ->
@@ -227,10 +245,11 @@ let decode s =
                 let s_op = op_ () in
                 { s_index; s_doc; s_op })
           in
-          Op_ship { txn; attempt; ops }
+          Op_ship { txn; attempt; seq; ops }
         | 1 ->
           let txn = varint () in
           let attempt = varint () in
+          let seq = varint () in
           let granted = varint () in
           let status =
             match byte () with
@@ -241,7 +260,7 @@ let decode s =
             | n -> raise (Bad (Printf.sprintf "bad status byte %d" n))
           in
           let result_bytes = varint () in
-          Op_status { txn; attempt; granted; status; result_bytes }
+          Op_status { txn; attempt; seq; granted; status; result_bytes }
         | 2 ->
           let txn = varint () in
           let op_index = varint () in
@@ -271,6 +290,10 @@ let decode s =
                 (w, h))
           in
           Wfg_reply { edges }
+        | 13 -> Outcome_query { txn = varint () }
+        | 14 ->
+          let txn = varint () in
+          Outcome_reply { txn; committed = bool_ () }
         | n -> raise (Bad (Printf.sprintf "unknown message tag %d" n))
       in
       if !pos <> len then Error "trailing bytes" else Ok m
@@ -283,13 +306,13 @@ let size m =
 
 let pp ppf m =
   match m with
-  | Op_ship { txn; attempt; ops } ->
-    Format.fprintf ppf "op_ship(t%d a%d [%s])" txn attempt
+  | Op_ship { txn; attempt; seq; ops } ->
+    Format.fprintf ppf "op_ship(t%d a%d s%d [%s])" txn attempt seq
       (String.concat "; "
          (List.map (fun s -> Printf.sprintf "#%d %s" s.s_index s.s_doc) ops))
-  | Op_status { txn; attempt; granted; status; result_bytes } ->
-    Format.fprintf ppf "op_status(t%d a%d granted=%d %s +%dB)" txn attempt
-      granted
+  | Op_status { txn; attempt; seq; granted; status; result_bytes } ->
+    Format.fprintf ppf "op_status(t%d a%d s%d granted=%d %s +%dB)" txn attempt
+      seq granted
       (match status with
        | Granted -> "granted"
        | Blocked -> "blocked"
@@ -310,3 +333,7 @@ let pp ppf m =
   | Wfg_request -> Format.fprintf ppf "wfg_request"
   | Wfg_reply { edges } ->
     Format.fprintf ppf "wfg_reply(%d edges)" (List.length edges)
+  | Outcome_query { txn } -> Format.fprintf ppf "outcome_query(t%d)" txn
+  | Outcome_reply { txn; committed } ->
+    Format.fprintf ppf "outcome_reply(t%d %s)" txn
+      (if committed then "committed" else "aborted")

@@ -32,13 +32,16 @@ type shipment = {
 }
 
 type t =
-  | Op_ship of { txn : int; attempt : int; ops : shipment list }
+  | Op_ship of { txn : int; attempt : int; seq : int; ops : shipment list }
       (** coordinator → participant: execute these operations (Alg. 1
           l. 13). Consecutive operations bound for the same single site
-          ride one shipment. *)
+          ride one shipment. [seq] uniquely identifies this dispatch —
+          retransmitted copies reuse it, so participants deduplicate
+          replayed or network-duplicated shipments idempotently. *)
   | Op_status of {
       txn : int;
       attempt : int;
+      seq : int;  (** echo of the shipment's [seq] *)
       granted : int;  (** how many shipped operations executed *)
       status : op_status;
       result_bytes : int;
@@ -72,6 +75,15 @@ type t =
   | Wfg_reply of { edges : (int * int) list }
       (** participant → detector: local (waiter, holder) edges (Alg. 4
           l. 4) *)
+  | Outcome_query of { txn : int }
+      (** recovering participant → coordinator: WAL replay found [txn]
+          in doubt (a [Prepared] record with no outcome) — what happened
+          to it? This re-registers the restarted site with the
+          coordinator (the presumed-abort uncertainty-period query). *)
+  | Outcome_reply of { txn : int; committed : bool }
+      (** coordinator → participant: the recorded outcome of a finalized
+          transaction; a coordinator with no record answers
+          [committed = false] (presumed abort). *)
 
 (** Message kinds, for per-type traffic accounting. *)
 module Kind : sig
@@ -89,6 +101,8 @@ module Kind : sig
     | Victim
     | Wfg_request
     | Wfg_reply
+    | Outcome_query
+    | Outcome_reply
 
   val count : int
   val all : t list

@@ -11,11 +11,50 @@ let wan = { base_latency_ms = 20.0; per_kb_ms = 0.8 }
 
 module Rng = Dtx_util.Rng
 
+module Config = struct
+  type t = {
+    base_latency_ms : float;
+    per_kb_ms : float;
+    drop_pct : int;
+    seed : int;
+  }
+
+  let lan = { base_latency_ms = 0.35; per_kb_ms = 0.08; drop_pct = 0; seed = 1 }
+
+  let wan = { lan with base_latency_ms = 20.0; per_kb_ms = 0.8 }
+
+  let with_base_latency_ms v t = { t with base_latency_ms = v }
+
+  let with_per_kb_ms v t = { t with per_kb_ms = v }
+
+  let with_drop_pct v t =
+    if v < 0 || v > 100 then invalid_arg "Net.Config.with_drop_pct";
+    { t with drop_pct = v }
+
+  let with_seed v t = { t with seed = v }
+
+  let pp ppf t =
+    Format.fprintf ppf "latency=%.2fms +%.2fms/KiB drop=%d%% seed=%d"
+      t.base_latency_ms t.per_kb_ms t.drop_pct t.seed
+end
+
+type channel = Reliable | Unreliable
+
 type handler = src:int -> dst:int -> Msg.t -> unit
 
 type dir = Send | Drop | Deliver
 
 type tracer = src:int -> dst:int -> dir -> Msg.t -> unit
+
+(* The chaos hook: [f_offsets] decides, at send time, when each copy of a
+   remote message is delivered ([] drops it, [0.0] is a normal delivery, two
+   entries duplicate it, a positive entry delays that copy); [f_deliverable]
+   is consulted again when a copy's delivery event fires, so a partition
+   that forms while the message is in flight still cuts it. *)
+type fault = {
+  f_offsets : time:float -> src:int -> dst:int -> channel -> Msg.t -> float list;
+  f_deliverable : time:float -> src:int -> dst:int -> bool;
+}
 
 type t = {
   sim : Sim.t;
@@ -31,17 +70,17 @@ type t = {
   bytes_by_kind : int array;
   mutable handler : handler option;
   mutable tracer : tracer option;
+  mutable fault : fault option;
 }
 
-let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
-    ?(seed = 1) () =
-  if drop_pct < 0 || drop_pct > 100 then invalid_arg "Net.create: drop_pct";
-  let pick override dflt = match override with Some v -> v | None -> dflt in
+let of_config ~sim (c : Config.t) =
+  if c.Config.drop_pct < 0 || c.Config.drop_pct > 100 then
+    invalid_arg "Net.create: drop_pct";
   { sim;
-    base_latency_ms = pick base_latency_ms profile.base_latency_ms;
-    per_kb_ms = pick per_kb_ms profile.per_kb_ms;
-    drop_pct;
-    rng = Rng.create seed;
+    base_latency_ms = c.Config.base_latency_ms;
+    per_kb_ms = c.Config.per_kb_ms;
+    drop_pct = c.Config.drop_pct;
+    rng = Rng.create c.Config.seed;
     messages = 0;
     bytes = 0;
     dropped = 0;
@@ -49,29 +88,43 @@ let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
     dropped_by_kind = Array.make Msg.Kind.count 0;
     bytes_by_kind = Array.make Msg.Kind.count 0;
     handler = None;
-    tracer = None }
+    tracer = None;
+    fault = None }
+
+let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
+    ?(seed = 1) () =
+  let pick override dflt = match override with Some v -> v | None -> dflt in
+  of_config ~sim
+    { Config.base_latency_ms = pick base_latency_ms profile.base_latency_ms;
+      per_kb_ms = pick per_kb_ms profile.per_kb_ms;
+      drop_pct;
+      seed }
 
 let set_handler t h = t.handler <- Some h
 
 let set_tracer t tr = t.tracer <- tr
 
+let set_fault t f = t.fault <- f
+
 let latency t ~src ~dst ~bytes =
   if src = dst then 0.0
   else t.base_latency_ms +. (t.per_kb_ms *. (float_of_int bytes /. 1024.0))
 
-let send t ~src ~dst ~bytes ?(reliable = true) k =
+(* The seeded lossy-link decision ([drop_pct]); fault-plan drops are decided
+   by the installed {!fault}, not here. *)
+let lossy_drop t ~src ~dst channel =
+  src <> dst && channel = Unreliable && t.drop_pct > 0 && Rng.pct t.rng t.drop_pct
+
+let send t ~src ~dst ~bytes ?(channel = Reliable) k =
   let delay = latency t ~src ~dst ~bytes in
   if src <> dst then begin
     t.messages <- t.messages + 1;
     t.bytes <- t.bytes + bytes
   end;
-  if
-    src <> dst && (not reliable) && t.drop_pct > 0
-    && Rng.pct t.rng t.drop_pct
-  then t.dropped <- t.dropped + 1
+  if lossy_drop t ~src ~dst channel then t.dropped <- t.dropped + 1
   else ignore (Sim.schedule t.sim ~delay k)
 
-let dispatch t ~src ~dst ?(reliable = true) msg =
+let dispatch t ~src ~dst ?(channel = Reliable) msg =
   let h =
     match t.handler with
     | Some h -> h
@@ -89,26 +142,51 @@ let dispatch t ~src ~dst ?(reliable = true) msg =
   (match t.tracer with
    | Some tr -> tr ~src ~dst Send msg
    | None -> ());
-  if
-    src <> dst && (not reliable) && t.drop_pct > 0
-    && Rng.pct t.rng t.drop_pct
-  then begin
+  let count_drop () =
     t.dropped <- t.dropped + 1;
     t.dropped_by_kind.(i) <- t.dropped_by_kind.(i) + 1;
     match t.tracer with
     | Some tr -> tr ~src ~dst Drop msg
     | None -> ()
-  end
-  else
-    let k =
-      match t.tracer with
-      | None -> fun () -> h ~src ~dst msg
-      | Some tr ->
+  in
+  if lossy_drop t ~src ~dst channel then count_drop ()
+  else begin
+    let deliver () =
+      let k =
+        match t.tracer with
+        | None -> fun () -> h ~src ~dst msg
+        | Some tr ->
+          fun () ->
+            tr ~src ~dst Deliver msg;
+            h ~src ~dst msg
+      in
+      match t.fault with
+      | None -> k
+      | Some f ->
+        (* Re-check the link when the copy actually arrives: a partition
+           (or crash) that formed in flight swallows it. *)
         fun () ->
-          tr ~src ~dst Deliver msg;
-          h ~src ~dst msg
+          if f.f_deliverable ~time:(Sim.now t.sim) ~src ~dst then k ()
+          else count_drop ()
     in
-    ignore (Sim.schedule t.sim ~delay k)
+    match t.fault with
+    | None -> ignore (Sim.schedule t.sim ~delay (deliver ()))
+    | Some f -> (
+      (* Local deliveries never cross a link, so send-time faults do not
+         apply; the delivery-time check still guards a crashed site. *)
+      let offsets =
+        if src = dst then [ 0.0 ]
+        else f.f_offsets ~time:(Sim.now t.sim) ~src ~dst channel msg
+      in
+      match offsets with
+      | [] -> count_drop ()
+      | offsets ->
+        List.iter
+          (fun off ->
+            ignore (Sim.schedule t.sim ~delay:(delay +. Float.max 0.0 off)
+                      (deliver ())))
+          offsets)
+  end
 
 let messages t = t.messages
 

@@ -11,23 +11,64 @@
 
     Traffic is counted per message kind ({!traffic}) and in total; both feed
     the experiment reports (the "communication and synchronization overhead"
-    visible in the total-replication results). *)
+    visible in the total-replication results).
+
+    Fault injection (the chaos harness) plugs in through {!set_fault}: a
+    {!fault} decides drop/duplicate/delay per remote message at send time and
+    re-checks link reachability at delivery time, so partitions cut even
+    in-flight traffic. With no fault installed the dispatch path is the
+    plain one-schedule fast path. *)
 
 type t
 
+(** How a network is configured. [Config.t] collapses what used to be five
+    overlapping optional arguments of {!create} into one value with
+    functional updaters. *)
+module Config : sig
+  type t = {
+    base_latency_ms : float;  (** one-way latency floor *)
+    per_kb_ms : float;  (** serialization cost per KiB *)
+    drop_pct : int;
+        (** probability (percent) that an {!Unreliable} remote message is
+            lost; 0 disables the lossy link *)
+    seed : int;  (** seed of the deterministic loss stream *)
+  }
+
+  val lan : t
+  (** The paper's testbed: a 100 Mbit/s switched LAN
+      ([base_latency_ms = 0.35], [per_kb_ms = 0.08]), lossless. *)
+
+  val wan : t
+  (** The paper's future-work target ("evaluate DTX in WAN environments"):
+      ~20 ms one-way latency, ~10 Mbit/s. *)
+
+  val with_base_latency_ms : float -> t -> t
+
+  val with_per_kb_ms : float -> t -> t
+
+  val with_drop_pct : int -> t -> t
+  (** @raise Invalid_argument outside 0..100. *)
+
+  val with_seed : int -> t -> t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val of_config : sim:Dtx_sim.Sim.t -> Config.t -> t
+(** The constructor. [Net.of_config ~sim Net.Config.lan] is the common
+    case; derive variants with the [Config.with_*] updaters. *)
+
 type profile = {
-  base_latency_ms : float;  (** one-way latency floor *)
-  per_kb_ms : float;  (** serialization cost per KiB *)
+  base_latency_ms : float;
+  per_kb_ms : float;
 }
+(** @deprecated Use {!Config.t}. Kept so pre-[Config] callers compile. *)
 
 val lan : profile
-(** The paper's testbed: a 100 Mbit/s switched LAN
-    ([base_latency_ms = 0.35], [per_kb_ms = 0.08]). *)
+(** @deprecated Use {!Config.lan}. *)
 
 val wan : profile
-(** The paper's future-work target ("evaluate DTX in WAN environments"):
-    ~20 ms one-way latency, ~10 Mbit/s ([base_latency_ms = 20.0],
-    [per_kb_ms = 0.8]). *)
+(** @deprecated Use {!Config.wan}. *)
 
 val create :
   sim:Dtx_sim.Sim.t ->
@@ -38,10 +79,17 @@ val create :
   ?seed:int ->
   unit ->
   t
-(** Defaults to {!lan}; the scalar arguments override the profile's
-    fields individually. [drop_pct] (default 0) makes the link lossy:
-    each unreliable remote message is dropped with that probability
-    (deterministically, from [seed]). *)
+(** @deprecated Thin wrapper over {!of_config}: builds a {!Config.t} from
+    [profile] (default {!lan}) with the scalar arguments overriding its
+    fields individually. New code should call {!of_config}. *)
+
+(** Which transport a message rides. [Reliable] models a retransmitting
+    channel: exempt from the {!Config.t} lossy link and from fault-plan
+    drop/duplicate decisions (partitions and crashes still cut it —
+    no transport survives a severed link). [Unreliable] is raw datagram
+    service: the coordinator ships operations on it and recovers via
+    timeout + retransmission. *)
+type channel = Reliable | Unreliable
 
 type handler = src:int -> dst:int -> Msg.t -> unit
 
@@ -52,7 +100,7 @@ val set_handler : t -> handler -> unit
 
 type dir =
   | Send  (** [dispatch] accepted the message (before any loss decision) *)
-  | Drop  (** the lossy link discarded it *)
+  | Drop  (** the lossy link, fault plan, or a mid-flight partition discarded it *)
   | Deliver  (** about to run the handler, at delivery time *)
 
 type tracer = src:int -> dst:int -> dir -> Msg.t -> unit
@@ -60,27 +108,45 @@ type tracer = src:int -> dst:int -> dir -> Msg.t -> unit
 val set_tracer : t -> tracer option -> unit
 (** Install (or remove) a trace sink on {!dispatch}ed messages. [Deliver]
     fires inside the simulator event, immediately before the handler, so a
-    tracer observes exactly the causal order the cluster does. The untyped
+    tracer observes exactly the causal order the cluster does. A duplicated
+    message produces one [Send] and one [Deliver] {e per copy}. The untyped
     {!send} path is not traced. [None] (the default) leaves dispatch
     unchanged beyond one immediate [match] per message. *)
 
-val dispatch : t -> src:int -> dst:int -> ?reliable:bool -> Msg.t -> unit
+(** A fault-plan hook (see [Dtx_fault.Injector]). [f_offsets] is consulted
+    once per remote {!dispatch}: it returns the extra delay of every copy to
+    deliver — [[]] drops the message, [[0.0]] delivers it normally,
+    [[0.0; j]] duplicates it with the copy [j] ms late, [[j]] just delays
+    it. [f_deliverable] is consulted again when each copy's delivery event
+    fires (and for local deliveries), so partitions and crashes swallow
+    in-flight traffic; a swallowed copy is traced and counted as a drop. *)
+type fault = {
+  f_offsets :
+    time:float -> src:int -> dst:int -> channel -> Msg.t -> float list;
+  f_deliverable : time:float -> src:int -> dst:int -> bool;
+}
+
+val set_fault : t -> fault option -> unit
+(** Install (or remove) the fault hook. [None] (the default) restores the
+    unfaulted fast path. *)
+
+val dispatch : t -> src:int -> dst:int -> ?channel:channel -> Msg.t -> unit
 (** Ship a protocol message: its {!Msg.size} is charged as traffic (counted
     per {!Msg.Kind}), and the registered handler receives it after the link
     delay. [src = dst] delivers at the next event with no delay and is not
-    counted as network traffic. [reliable] (default [true]) exempts the
-    message from loss — commit/abort/ack/wake traffic rides a retransmitting
-    channel; only operation shipments and their status replies are sent
-    unreliably by the cluster.
+    counted as network traffic. [channel] (default [Reliable]) picks the
+    transport — commit/abort/ack/wake traffic rides [Reliable]; operation
+    shipments and their status replies ride [Unreliable] and are guarded by
+    coordinator retransmission.
     @raise Invalid_argument if no handler was registered. *)
 
 val send :
-  t -> src:int -> dst:int -> bytes:int -> ?reliable:bool -> (unit -> unit) ->
+  t -> src:int -> dst:int -> bytes:int -> ?channel:channel -> (unit -> unit) ->
   unit
 (** Low-level untyped delivery (simulation plumbing and tests): deliver [k]
     after the link delay of a [bytes]-sized message. Counted in the totals
-    but not in the per-kind {!traffic}. Same [src = dst] and [reliable]
-    semantics as {!dispatch}. *)
+    but not in the per-kind {!traffic}, not traced, and not subject to
+    fault plans. Same [src = dst] and [channel] semantics as {!dispatch}. *)
 
 val latency : t -> src:int -> dst:int -> bytes:int -> float
 (** The delay a message would incur. *)
@@ -89,7 +155,8 @@ val messages : t -> int
 (** Remote messages sent so far. *)
 
 val dropped : t -> int
-(** Unreliable messages lost to [drop_pct]. *)
+(** Unreliable messages lost to [drop_pct], plus fault-plan and
+    mid-flight-partition drops. *)
 
 val bytes_sent : t -> int
 

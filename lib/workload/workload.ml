@@ -29,9 +29,12 @@ type params = {
   deadlock_period_ms : float;
   retries : int;
   cost : Cost.t;
-  net_profile : Net.profile;
+  net_config : Net.Config.t;
   two_phase_commit : bool;
   deadlock_policy : Dtx.Site.deadlock_policy;
+  op_timeout_ms : float option;
+  retransmit_ms : float option;
+  txn_timeout_ms : float option;
 }
 
 let default_params =
@@ -49,9 +52,12 @@ let default_params =
     deadlock_period_ms = 40.0;
     retries = 0;
     cost = Cost.default;
-    net_profile = Net.lan;
+    net_config = Net.Config.lan;
     two_phase_commit = false;
-    deadlock_policy = Dtx.Site.Detection }
+    deadlock_policy = Dtx.Site.Detection;
+    op_timeout_ms = None;
+    retransmit_ms = None;
+    txn_timeout_ms = None }
 
 type result = {
   params : params;
@@ -110,7 +116,7 @@ let run ?instrument p =
     Allocation.allocate ~n_sites:p.n_sites p.replication (Array.to_list fragments)
   in
   let sim = Sim.create () in
-  let net = Net.create ~sim ~profile:p.net_profile () in
+  let net = Net.of_config ~sim p.net_config in
   let config =
     { Cluster.protocol = p.protocol;
       cost = p.cost;
@@ -118,7 +124,9 @@ let run ?instrument p =
       storage = `Memory;
       commit = (if p.two_phase_commit then Cluster.Two_phase else Cluster.One_phase);
       deadlock_policy = p.deadlock_policy;
-      op_timeout_ms = None }
+      op_timeout_ms = p.op_timeout_ms;
+      retransmit_ms = p.retransmit_ms;
+      txn_timeout_ms = p.txn_timeout_ms }
   in
   let cluster = Cluster.create ~sim ~net ~n_sites:p.n_sites config ~placements in
   Cluster.shutdown_when_idle cluster;

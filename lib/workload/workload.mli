@@ -29,12 +29,19 @@ type params = {
   retries : int;  (** client resubmissions after an abort (paper: client's
                       choice; experiments use 0) *)
   cost : Dtx.Cost.t;
-  net_profile : Dtx_net.Net.profile;
-      (** LAN (the paper's testbed) or WAN (its future-work environment) *)
+  net_config : Dtx_net.Net.Config.t;
+      (** [Config.lan] (the paper's testbed) or [Config.wan] (its
+          future-work environment), with optional lossy-link settings *)
   two_phase_commit : bool;
       (** use the 2PC extension instead of the paper's one-phase commit *)
   deadlock_policy : Dtx.Site.deadlock_policy;
       (** detection (the paper) or wait-die / wound-wait prevention *)
+  op_timeout_ms : float option;  (** see {!Dtx.Cluster.config} *)
+  retransmit_ms : float option;
+      (** coordinator retransmission backoff base (the chaos runs set it);
+          [None] keeps the unfaulted wire behaviour *)
+  txn_timeout_ms : float option;
+      (** chaos safety valve: abort transactions stranded this long *)
 }
 
 val default_params : params

@@ -202,7 +202,7 @@ let test_op_ship_while_ending_caught () =
   Checker.emit c ~time:2.0
     (Checker.Net
        { src = 0; dst = 1; dir = Net.Send;
-         msg = Msg.Op_ship { txn = 1; attempt = 1; ops = [] }
+         msg = Msg.Op_ship { txn = 1; attempt = 1; seq = 1; ops = [] }
        });
   check_inv "fsm-conformance flagged" [ "fsm-conformance" ]
     (Checker.violations c)

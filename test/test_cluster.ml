@@ -326,8 +326,11 @@ module Wal = Dtx.Wal
 let test_wal_unit () =
   let w = Wal.create () in
   checkb "unknown" true (Wal.outcome_of w 1 = `Unknown);
-  Wal.append w (Wal.Prepared { txn = 1; time = 1.0 });
-  Wal.append w (Wal.Prepared { txn = 2; time = 1.5 });
+  Wal.append w (Wal.Prepared { txn = 1; time = 1.0; coord = 0; redo = [] });
+  Wal.append w
+    (Wal.Prepared
+       { txn = 2; time = 1.5; coord = 0;
+         redo = [ ("d1", "REMOVE /products/product[1]") ] });
   Wal.append w (Wal.Committed { txn = 1; time = 2.0 });
   checkb "committed" true (Wal.outcome_of w 1 = `Committed);
   checkb "in doubt" true (Wal.outcome_of w 2 = `In_doubt);

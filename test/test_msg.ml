@@ -14,9 +14,9 @@ let check_str = Alcotest.(check string)
    textual form (the form they ride the wire in). *)
 let msg_equal a b =
   match (a, b) with
-  | ( Msg.Op_ship { txn = t1; attempt = a1; ops = o1 },
-      Msg.Op_ship { txn = t2; attempt = a2; ops = o2 } ) ->
-    t1 = t2 && a1 = a2
+  | ( Msg.Op_ship { txn = t1; attempt = a1; seq = s1; ops = o1 },
+      Msg.Op_ship { txn = t2; attempt = a2; seq = s2; ops = o2 } ) ->
+    t1 = t2 && a1 = a2 && s1 = s2
     && List.length o1 = List.length o2
     && List.for_all2
          (fun (x : Msg.shipment) (y : Msg.shipment) ->
@@ -37,6 +37,7 @@ let samples =
   [ Msg.Op_ship
       { txn = 42;
         attempt = 3;
+        seq = 512;
         ops =
           [ ship "catalogue" "QUERY /products/product/name";
             ship ~index:1 "catalogue"
@@ -48,16 +49,16 @@ let samples =
             ship ~index:5 "site" "TRANSPOSE //item[@id = \"i9\"] INTO /site/regions/europe"
           ] };
     Msg.Op_status
-      { txn = 7; attempt = 0; granted = 2; status = Msg.Granted;
+      { txn = 7; attempt = 0; seq = 1; granted = 2; status = Msg.Granted;
         result_bytes = 640 };
     Msg.Op_status
-      { txn = 7; attempt = 1; granted = 0; status = Msg.Blocked;
+      { txn = 7; attempt = 1; seq = 2; granted = 0; status = Msg.Blocked;
         result_bytes = 0 };
     Msg.Op_status
-      { txn = 8; attempt = 2; granted = 1; status = Msg.Deadlock;
+      { txn = 8; attempt = 2; seq = 130; granted = 1; status = Msg.Deadlock;
         result_bytes = 0 };
     Msg.Op_status
-      { txn = 9; attempt = 0; granted = 0;
+      { txn = 9; attempt = 0; seq = 0; granted = 0;
         status = Msg.Failed "site unavailable"; result_bytes = 0 };
     Msg.Op_undo { txn = 11; op_index = 2; attempt = 4 };
     Msg.Prepare { txn = 13 };
@@ -70,6 +71,9 @@ let samples =
     Msg.Wake { txn = 16 };
     Msg.Wound { txn = 17 };
     Msg.Victim { txn = 18 };
+    Msg.Outcome_query { txn = 19 };
+    Msg.Outcome_reply { txn = 19; committed = true };
+    Msg.Outcome_reply { txn = 20; committed = false };
     Msg.Wfg_request;
     Msg.Wfg_reply { edges = [] };
     Msg.Wfg_reply { edges = [ (1, 2); (2, 3); (300, 70000) ] } ]
@@ -107,12 +111,12 @@ let test_kind_index_dense () =
 let test_size_includes_result_payload () =
   let base =
     Msg.Op_status
-      { txn = 1; attempt = 0; granted = 1; status = Msg.Granted;
+      { txn = 1; attempt = 0; seq = 1; granted = 1; status = Msg.Granted;
         result_bytes = 0 }
   in
   let loaded =
     Msg.Op_status
-      { txn = 1; attempt = 0; granted = 1; status = Msg.Granted;
+      { txn = 1; attempt = 0; seq = 1; granted = 1; status = Msg.Granted;
         result_bytes = 512 }
   in
   (* The modelled result payload is charged on top of the encoding. *)
@@ -124,11 +128,14 @@ let test_batched_shipment_smaller_than_singles () =
       ship ~index:1 "catalogue" "QUERY /products/product/price";
       ship ~index:2 "catalogue" "REMOVE //product[id = \"2\"]" ]
   in
-  let batched = Msg.size (Msg.Op_ship { txn = 5; attempt = 0; ops }) in
+  let batched =
+    Msg.size (Msg.Op_ship { txn = 5; attempt = 0; seq = 1; ops })
+  in
   let singles =
     List.fold_left
       (fun acc op ->
-        acc + Msg.size (Msg.Op_ship { txn = 5; attempt = 0; ops = [ op ] }))
+        acc
+        + Msg.size (Msg.Op_ship { txn = 5; attempt = 0; seq = 1; ops = [ op ] }))
       0 ops
   in
   checkb

@@ -82,7 +82,7 @@ let test_drop_pct () =
   let net = Net.create ~sim ~drop_pct:50 ~seed:3 () in
   let delivered = ref 0 in
   for _ = 1 to 200 do
-    Net.send net ~src:0 ~dst:1 ~bytes:64 ~reliable:false (fun () -> incr delivered)
+    Net.send net ~src:0 ~dst:1 ~bytes:64 ~channel:Net.Unreliable (fun () -> incr delivered)
   done;
   Sim.run sim;
   check "sent counter includes drops" 200 (Net.messages net);
@@ -97,7 +97,7 @@ let test_reliable_exempt_from_loss () =
     Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> incr delivered)
   done;
   for _ = 1 to 20 do
-    Net.send net ~src:0 ~dst:1 ~bytes:64 ~reliable:false (fun () -> incr delivered)
+    Net.send net ~src:0 ~dst:1 ~bytes:64 ~channel:Net.Unreliable (fun () -> incr delivered)
   done;
   Sim.run sim;
   check "reliable all delivered, unreliable none" 20 !delivered;
@@ -107,7 +107,7 @@ let test_local_never_dropped () =
   let sim = Sim.create () in
   let net = Net.create ~sim ~drop_pct:100 ~seed:3 () in
   let delivered = ref 0 in
-  Net.send net ~src:1 ~dst:1 ~bytes:64 ~reliable:false (fun () -> incr delivered);
+  Net.send net ~src:1 ~dst:1 ~bytes:64 ~channel:Net.Unreliable (fun () -> incr delivered);
   Sim.run sim;
   check "local exempt" 1 !delivered
 
