@@ -3,9 +3,10 @@
 # part of the gate; add it here if/when the binary is available.)
 
 .PHONY: check build test bench bench-smoke bench-json analyze analyze-smoke \
-	analyze-mutations chaos chaos-smoke clean
+	analyze-mutations chaos chaos-smoke explore explore-smoke \
+	explore-mutations clean
 
-check: build test bench-smoke analyze-smoke chaos-smoke
+check: build test bench-smoke analyze-smoke chaos-smoke explore-smoke
 
 build:
 	dune build
@@ -51,6 +52,31 @@ analyze-mutations:
 	! dune exec bin/dtx_cli.exe -- analyze --mutate compat-flip
 	! dune exec bin/dtx_cli.exe -- analyze --mutate skip-release
 	! dune exec bin/dtx_cli.exe -- analyze --mutate commit-reorder
+
+# Schedule-space model checking: every inequivalent message-delivery
+# schedule of the pinned scenarios, DPOR-reduced by the static
+# commutativity analysis, with the invariant checker as oracle. Covers
+# one-phase and 2PC under XDGL and Node2PL.
+explore:
+	dune exec bin/dtx_cli.exe -- explore --scenario all
+	dune exec bin/dtx_cli.exe -- explore --scenario all --protocol node2pl
+	dune exec bin/dtx_cli.exe -- explore --scenario ref --two-phase
+
+# Reference-scenario pass with the >= 2x DPOR-reduction gate — part of
+# `make check` (the gate also re-runs the naive baseline).
+explore-smoke:
+	dune exec bin/dtx_cli.exe -- explore --scenario ref --gate-reduction 2.0
+	dune exec bin/dtx_cli.exe -- explore --scenario ref --protocol node2pl \
+	  --gate-reduction 2.0
+
+# Seeded protocol bugs the explorer must reach: each mutated run has to
+# find a violating schedule (so the plain run exits non-zero, inverted by
+# `!`). skip-release is the schedule-dependent one random jitter misses.
+explore-mutations:
+	! dune exec bin/dtx_cli.exe -- explore --scenario ref --mutate compat-flip
+	! dune exec bin/dtx_cli.exe -- explore --scenario ref --mutate skip-release
+	! dune exec bin/dtx_cli.exe -- explore --scenario ref --two-phase \
+	  --mutate commit-reorder
 
 clean:
 	dune clean

@@ -6,6 +6,7 @@
      dtx dataguide  -f doc.xml                    print the strong DataGuide
      dtx locks      -f doc.xml -e 'REMOVE //item' [--protocol node2pl]
      dtx workload   --protocol xdgl --clients 50 --update-pct 20 ...
+     dtx explore    --scenario ref [--naive] [--mutate skip-release] [--json]
      dtx experiment fig9 [--quick]                regenerate a paper figure
 
    Everything runs on the simulated cluster; see bench/main.exe for the
@@ -584,6 +585,221 @@ let chaos_cmd =
     Term.(const run $ plans $ first_seed $ sites $ clients $ txns $ ops $ upd
           $ horizon $ smoke $ show_plans $ ring)
 
+(* --- explore ----------------------------------------------------------------*)
+
+module Explore = Dtx_explore.Explore
+module Commute = Dtx_explore.Commute
+
+let explore_mutation_conv =
+  Arg.conv
+    ( (fun s ->
+        match Explore.mutation_of_string s with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown mutation " ^ s))),
+      fun ppf m ->
+        Format.pp_print_string ppf (Explore.mutation_to_string m) )
+
+let explore_cmd =
+  let scenario =
+    Arg.(value & opt string "ref" & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Scenario to explore (or $(b,all)); see $(b,--list).")
+  in
+  let list_scenarios =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit.")
+  in
+  let two_phase =
+    Arg.(value & flag & info [ "two-phase" ]
+           ~doc:"Commit with the 2PC extension.")
+  in
+  let naive =
+    Arg.(value & flag & info [ "naive" ]
+           ~doc:"Disable the commutativity-driven sleep sets and explore \
+                 every delivery order (the reduction baseline).")
+  in
+  let mutate =
+    Arg.(value & opt (some explore_mutation_conv) None
+           & info [ "mutate" ] ~docv:"MUT"
+               ~doc:"Seed a protocol bug — compat-flip, skip-release or \
+                     commit-reorder — that at least one explored schedule \
+                     must expose; the command then exits non-zero.")
+  in
+  let random =
+    Arg.(value & opt int 0 & info [ "random" ] ~docv:"N"
+           ~doc:"Also run $(docv) seeded random (bounded-jitter) schedules \
+                 and report how many seeds find a violation.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit one machine-readable JSON object per configuration.")
+  in
+  let gate_reduction =
+    Arg.(value & opt float 0.0 & info [ "gate-reduction" ] ~docv:"X"
+           ~doc:"Also run the naive baseline and fail unless \
+                 naive/DPOR schedule count is at least $(docv).")
+  in
+  let max_schedules =
+    Arg.(value & opt int Explore.default_config.Explore.max_schedules
+           & info [ "max-schedules" ]
+               ~doc:"Explored + pruned schedule budget.")
+  in
+  let ring =
+    Arg.(value & opt int Explore.default_config.Explore.ring
+           & info [ "ring" ]
+               ~doc:"Per-replay trace ring-buffer capacity.")
+  in
+  let run scenario list_scenarios protocol two_phase naive mutate random json
+      gate_reduction max_schedules ring =
+    if list_scenarios then begin
+      List.iter
+        (fun s ->
+          Printf.printf "%-10s %s\n" s.Explore.sc_name s.Explore.sc_about)
+        Explore.scenarios;
+      exit 0
+    end;
+    let scens =
+      if scenario = "all" then Explore.scenarios
+      else
+        match Explore.find_scenario scenario with
+        | Some s -> [ s ]
+        | None ->
+          Printf.eprintf "unknown scenario %s (try --list)\n" scenario;
+          exit 2
+    in
+    let failed = ref false in
+    List.iter
+      (fun scen ->
+        let cfg =
+          { Explore.default_config with
+            Explore.protocol; two_phase; naive; mutate; max_schedules; ring }
+        in
+        let o = Explore.explore ~config:cfg scen in
+        let baseline =
+          if gate_reduction > 0.0 && not naive then
+            Some
+              (Explore.explore
+                 ~config:{ cfg with Explore.naive = true; mutate = None }
+                 scen)
+          else None
+        in
+        let reduction =
+          match baseline with
+          | Some b when o.Explore.o_explored > 0 ->
+            Some (float_of_int b.Explore.o_explored
+                  /. float_of_int o.Explore.o_explored)
+          | _ -> None
+        in
+        let random_hits =
+          if random > 0 then
+            let seeds = List.init random (fun i -> i + 1) in
+            let runs = Explore.random_runs scen cfg ~seeds in
+            Some (List.length (List.filter (fun (_, vs) -> vs <> []) runs))
+          else None
+        in
+        let label =
+          Printf.sprintf "%s %s%s%s%s" scen.Explore.sc_name
+            (Protocol.kind_to_string protocol)
+            (if two_phase then "+2pc" else "")
+            (if naive then " naive" else "")
+            (match mutate with
+             | None -> ""
+             | Some m -> " mutate=" ^ Explore.mutation_to_string m)
+        in
+        if json then begin
+          let fopt = function
+            | Some r -> Printf.sprintf "%.2f" r
+            | None -> "null"
+          in
+          let iopt = function
+            | Some i -> string_of_int i
+            | None -> "null"
+          in
+          Printf.printf
+            "{\"scenario\":\"%s\",\"protocol\":\"%s\",\"two_phase\":%b,\
+             \"naive\":%b,\"mutate\":%s,\"schedules_explored\":%d,\
+             \"schedules_pruned\":%d,\"violations\":%d,\"max_depth\":%d,\
+             \"truncated\":%b,\"unsound\":%d,\"reduction\":%s,\
+             \"random_seeds\":%d,\"random_violating_seeds\":%s,\
+             \"violation_detail\":[%s]}\n"
+            scen.Explore.sc_name
+            (Protocol.kind_to_string protocol)
+            two_phase naive
+            (match mutate with
+             | None -> "null"
+             | Some m ->
+               Printf.sprintf "\"%s\"" (Explore.mutation_to_string m))
+            o.Explore.o_explored o.Explore.o_pruned o.Explore.o_violations
+            o.Explore.o_max_depth o.Explore.o_truncated
+            (List.length o.Explore.o_unsound)
+            (fopt reduction) random
+            (iopt random_hits)
+            (String.concat ","
+               (List.concat_map
+                  (fun vs ->
+                    List.map Checker.violation_json
+                      vs.Explore.vs_violations)
+                  o.Explore.o_violating))
+        end
+        else begin
+          Format.printf
+            "%-28s %d schedule(s) explored, %d pruned, depth %d%s%s@." label
+            o.Explore.o_explored o.Explore.o_pruned o.Explore.o_max_depth
+            (match reduction with
+             | Some r ->
+               Printf.sprintf ", %.1fx reduction (naive %d)" r
+                 (match baseline with
+                  | Some b -> b.Explore.o_explored
+                  | None -> 0)
+             | None -> "")
+            (if o.Explore.o_truncated then " [TRUNCATED]" else "");
+          List.iter
+            (fun m -> Format.printf "  [commute-unsound] %s@." m)
+            o.Explore.o_unsound;
+          (match random_hits with
+           | Some hits ->
+             Format.printf
+               "  random baseline: %d/%d seed(s) found a violation@." hits
+               random
+           | None -> ());
+          if o.Explore.o_violations > 0 then begin
+            Format.printf "  %d violation(s) in %d schedule(s); first:@."
+              o.Explore.o_violations
+              (List.length o.Explore.o_violating);
+            match o.Explore.o_violating with
+            | [] -> ()
+            | vs :: _ ->
+              Format.printf "  schedule [%s]:@."
+                (String.concat "; " (List.map string_of_int vs.Explore.vs_path));
+              List.iter
+                (fun v -> Format.printf "%a@." Checker.pp_violation v)
+                vs.Explore.vs_violations
+          end
+        end;
+        if o.Explore.o_violations > 0 || o.Explore.o_unsound <> [] then
+          failed := true;
+        (match reduction with
+         | Some r when r < gate_reduction ->
+           Format.printf "  reduction gate FAILED: %.2f < %.2f@." r
+             gate_reduction;
+           failed := true
+         | _ -> ());
+        if o.Explore.o_truncated && (gate_reduction > 0.0 || mutate = None)
+        then begin
+          Format.printf "  truncated run cannot certify the schedule space@.";
+          failed := true
+        end)
+      scens;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Model-check a pinned scenario over every inequivalent \
+             message-delivery schedule (sleep-set DPOR seeded by the static \
+             operation-commutativity analysis), with the invariant checker \
+             as oracle; exit non-zero on any violation.")
+    Term.(const run $ scenario $ list_scenarios $ protocol_arg $ two_phase
+          $ naive $ mutate $ random $ json $ gate_reduction $ max_schedules
+          $ ring)
+
 (* --- experiment -------------------------------------------------------------*)
 
 let experiment_cmd =
@@ -618,5 +834,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; query_cmd; update_cmd; txn_cmd; dataguide_cmd;
-            locks_cmd; workload_cmd; analyze_cmd; chaos_cmd;
+            locks_cmd; workload_cmd; analyze_cmd; chaos_cmd; explore_cmd;
             experiment_cmd ]))

@@ -97,10 +97,35 @@ let pp_violation ppf v =
   end;
   Format.fprintf ppf "@]"
 
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let violation_json v =
+  let opt = function Some i -> string_of_int i | None -> "null" in
+  Printf.sprintf
+    "{\"invariant\":%s,\"txn\":%s,\"site\":%s,\"time_ms\":%.3f,\"detail\":%s}"
+    (json_string v.v_invariant) (opt v.v_txn) (opt v.v_site) v.v_time
+    (json_string v.v_detail)
+
 (* All mirror state is keyed by plain tuples in polymorphic hashtables: the
    checker runs off the hot path, so clarity wins over interning. *)
 type t = {
   ring : (float * event) option array;
+  suffix_limit : int;
   mutable head : int;  (* next write slot *)
   mutable last_time : float;
   mutable violations : violation list;  (* newest first *)
@@ -125,6 +150,9 @@ type t = {
   (* --- deadlock detector mirror --- *)
   mutable round_wfg : Wfg.t;
   mutable last_wfg_dst : int;
+  birth : (int, float) Hashtbl.t;
+      (* txn -> admission time (first Phase event), mirroring the
+         coordinator's submission timestamps for the victim rule *)
   (* --- fault/recovery mirror --- *)
   executed : (int * int * int, unit) Hashtbl.t;
       (* (site, txn, seq): shipment executions, for the double-apply check;
@@ -135,9 +163,11 @@ type t = {
       (* fault-plan oracle: is this link severed (partition or crash)? *)
 }
 
-let create ?(ring = 256) () =
+let create ?(ring = 256) ?(suffix = 30) () =
   if ring < 1 then invalid_arg "Checker.create: ring must be positive";
+  if suffix < 0 then invalid_arg "Checker.create: suffix must be non-negative";
   { ring = Array.make ring None;
+    suffix_limit = suffix;
     head = 0;
     last_time = 0.0;
     violations = [];
@@ -156,6 +186,7 @@ let create ?(ring = 256) () =
     undo_due = Hashtbl.create 16;
     round_wfg = Wfg.create ();
     last_wfg_dst = min_int;
+    birth = Hashtbl.create 64;
     executed = Hashtbl.create 64;
     commit_issued = Hashtbl.create 64;
     recovery_pending = Hashtbl.create 16;
@@ -168,8 +199,6 @@ let violations t = List.rev t.violations
 (* The most recent ring-buffer events relevant to [txn] (events carrying no
    transaction id — clears, WFG traffic — are kept as context), capped so a
    report stays readable. This is the "minimal offending event suffix". *)
-let suffix_limit = 30
-
 let suffix t ~txn =
   let cap = Array.length t.ring in
   let newest_first = ref [] in
@@ -188,7 +217,7 @@ let suffix t ~txn =
     if n = 0 then []
     else match l with [] -> [] | x :: rest -> x :: take (n - 1) rest
   in
-  List.rev (take suffix_limit !newest_first)
+  List.rev (take t.suffix_limit !newest_first)
 
 let violate t ?txn ?site ~invariant fmt =
   Format.kasprintf
@@ -457,13 +486,32 @@ let on_net t ~src ~dst dir (msg : Msg.t) =
           WFG has no cycle"
          txn
      | Some cycle ->
-       let newest = List.fold_left max min_int cycle in
-       if newest <> txn then
-         violate t ~txn ~invariant:"deadlock-victim"
-           "t%d chosen as victim but t%d is the newest transaction in the \
-            cycle [%s]"
-           txn newest
-           (String.concat " -> " (List.map string_of_int cycle)));
+       (* Mirror of [Coordinator.newest_of]: newest admission time, ties
+          broken by the larger id; transactions whose admission predates
+          attachment rank oldest. *)
+       let birth id =
+         match Hashtbl.find_opt t.birth id with
+         | Some tm -> tm
+         | None -> neg_infinity
+       in
+       let newest =
+         List.fold_left
+           (fun best id ->
+             match best with
+             | None -> Some id
+             | Some b ->
+               let c = compare (birth id) (birth b) in
+               if c > 0 || (c = 0 && id > b) then Some id else best)
+           None cycle
+       in
+       (match newest with
+        | Some newest when newest <> txn ->
+          violate t ~txn ~invariant:"deadlock-victim"
+            "t%d chosen as victim but t%d is the newest transaction in the \
+             cycle [%s]"
+            txn newest
+            (String.concat " -> " (List.map string_of_int cycle))
+        | _ -> ()));
     Wfg.clear t.round_wfg;
     t.last_wfg_dst <- min_int
   | Net.Send, Msg.Wfg_request ->
@@ -517,7 +565,10 @@ let emit t ~time ev =
   match ev with
   | Lock { site; ev } -> on_lock t ~site ev
   | Part { site; ev } -> on_part t ~site ev
-  | Phase { txn; from_; to_ } -> on_phase t ~txn ~from_ ~to_
+  | Phase { txn; from_; to_ } ->
+    if from_ = None && not (Hashtbl.mem t.birth txn) then
+      Hashtbl.replace t.birth txn time;
+    on_phase t ~txn ~from_ ~to_
   | Net { src; dst; dir; msg } ->
     (match (dir, t.link_cut) with
      | Net.Deliver, Some cut when src <> dst && cut ~time ~src ~dst ->

@@ -22,7 +22,8 @@
       l. 15-17);
     - {b deadlock-victim} — every Victim message corresponds to a real
       cycle in that detector round's unioned wait-for graph, and names its
-      newest transaction (Alg. 4);
+      newest transaction — latest admission time, ties broken by the larger
+      id, mirroring [Coordinator.newest_of] (Alg. 4);
     - {b sim-clock} — virtual time never decreases;
     - {b dedup} — a duplicated or retransmitted operation shipment is never
       executed twice at a site (at-most-once delivery);
@@ -70,11 +71,21 @@ type violation = {
 
 val pp_violation : Format.formatter -> violation -> unit
 
+val violation_json : violation -> string
+(** One-line JSON object ([invariant]/[txn]/[site]/[time_ms]/[detail],
+    suffix omitted) — the machine-readable verdict the explorer and CI
+    gates aggregate. *)
+
 type t
 
-val create : ?ring:int -> unit -> t
-(** A fresh checker. [ring] (default 256) bounds the trace suffix kept for
-    violation reports. @raise Invalid_argument if [ring < 1]. *)
+val create : ?ring:int -> ?suffix:int -> unit -> t
+(** A fresh checker. [ring] (default 256) is the capacity of the circular
+    trace buffer — how far back a violation report can look. [suffix]
+    (default 30) caps how many of those events a report actually quotes;
+    the schedule explorer passes small values for both, since it builds
+    thousands of throwaway checkers and only ever prints the first
+    violation's tail. @raise Invalid_argument if [ring < 1] or
+    [suffix < 0]. *)
 
 val attach : ?mutate:(event -> event option) -> t -> Dtx.Cluster.t -> unit
 (** Attach to [cluster] with one {!Dtx.Cluster.attach_tracer} call (all

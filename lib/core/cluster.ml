@@ -163,7 +163,7 @@ let detector_reply t ~src edges =
     | None -> detector_request t (src + 1)
     | Some cycle -> (
       t.detector_busy <- false;
-      let victim = List.fold_left max min_int cycle in
+      let victim = Coordinator.newest_of t.coord cycle in
       match Coordinator.home_of t.coord ~txn:victim with
       | Some coordinator ->
         Net.dispatch t.net ~src:detector_site ~dst:coordinator

@@ -156,6 +156,26 @@ let home_of t ~txn =
   | Some st when not (finishing st) -> Some st.txn.Txn.coordinator
   | _ -> None
 
+(* "The most recent transaction involved in the circle is aborted"
+   (Alg. 4 l. 7): newest by submission timestamp, ties (same-tick
+   submissions) broken by the larger id so victim choice — and therefore
+   any schedule replay — is deterministic. Transactions the coordinator no
+   longer tracks rank oldest. *)
+let newest_of t ids =
+  let birth id =
+    match Hashtbl.find_opt t.txns id with
+    | Some st -> st.txn.Txn.submitted_at
+    | None -> neg_infinity
+  in
+  match ids with
+  | [] -> invalid_arg "Coordinator.newest_of: empty cycle"
+  | id :: rest ->
+    List.fold_left
+      (fun best id ->
+        let c = compare (birth id) (birth best) in
+        if c > 0 || (c = 0 && id > best) then id else best)
+      id rest
+
 let set_history t h = t.history <- Some h
 
 let sample_concurrency t =

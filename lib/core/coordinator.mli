@@ -121,6 +121,13 @@ val home_of : t -> txn:int -> int option
 (** The coordinator site of a live transaction (where the detector
     addresses its [Victim] notification). *)
 
+val newest_of : t -> int list -> int
+(** Deadlock-victim choice (Alg. 4 l. 7): the transaction in the cycle with
+    the largest submission timestamp, equal timestamps broken by the larger
+    id — a deterministic total order, so schedule replays always abort the
+    same victim. Unknown (already-finalized) transactions rank oldest.
+    @raise Invalid_argument on an empty list. *)
+
 val set_history : t -> History.t -> unit
 (** Record commit/abort events into [h] at finalization. *)
 

@@ -1,0 +1,144 @@
+module Op = Dtx_update.Op
+module Ast = Dtx_xpath.Ast
+module Mode = Dtx_locks.Mode
+module Table = Dtx_locks.Table
+module Protocol = Dtx_protocol.Protocol
+module Dg = Dtx_dataguide.Dataguide
+module Xml_parser = Dtx_xml.Parser
+
+type verdict = Commutes | Conflicts | Unknown
+
+let verdict_to_string = function
+  | Commutes -> "commutes"
+  | Conflicts -> "conflicts"
+  | Unknown -> "unknown"
+
+let independent = function Commutes -> true | Conflicts | Unknown -> false
+
+(* The analyzer owns a private protocol instance over private document
+   copies: XDGL lock derivation grows the DataGuide for insert targets
+   ([Dg.ensure_path] creates count-0 nodes), and that mutation must never
+   leak into — or depend on — the cluster the explorer is replaying.
+   Phantom count-0 nodes only ever widen later footprints, which errs on
+   the side of Conflicts. *)
+type t = {
+  proto : Protocol.t;
+  kind : Protocol.kind;
+}
+
+let create ~protocol ~docs =
+  let proto = Protocol.create protocol in
+  List.iter
+    (fun (name, xml) -> Protocol.add_doc proto (Xml_parser.parse ~name xml))
+    docs;
+  { proto; kind = protocol }
+
+let order_sensitive = function
+  | Op.Insert _ | Op.Transpose _ -> true
+  | Op.Query _ | Op.Remove _ | Op.Rename _ | Op.Change _ -> false
+
+let footprint t ~doc op =
+  match Protocol.lock_requests t.proto ~doc op with
+  | Ok (reqs, _) -> Some reqs
+  | Error _ -> None
+
+(* The one place the XDGL rules under-approximate an operation's {e read}
+   set: INSERT AFTER/BEFORE locks the connect node (the parent) but not the
+   target node whose position it reads, so a footprint intersection alone
+   would call "INSERT AFTER /x" and "REMOVE /x" commuting. Charge every
+   operation a virtual ST on each node its paths resolve to (IS above),
+   closing that gap; for operations that already hold a stronger lock there
+   the extra ST changes nothing. *)
+let virtual_reads t ~doc op =
+  match Protocol.dataguide t.proto doc with
+  | None -> []
+  | Some dg ->
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun (n : Dg.node) ->
+            (Table.resource dg.Dg.doc_name n.Dg.dg_id, Mode.ST)
+            :: List.map
+                 (fun (a : Dg.node) ->
+                   (Table.resource dg.Dg.doc_name a.Dg.dg_id, Mode.IS))
+                 (Dg.ancestors n))
+          (Dg.match_path dg (Ast.without_predicates p)))
+      (Op.paths op)
+
+let lists_conflict fp1 fp2 =
+  List.exists
+    (fun (r1, m1) ->
+      List.exists
+        (fun (r2, m2) ->
+          Table.compare_resource r1 r2 = 0 && not (Mode.compatible m1 m2))
+        fp2)
+    fp1
+
+(* Sibling-order sensitivity: two insertions (or transpose landings) whose
+   shared-insert locks (SI/SA/SB — mutually compatible by design) meet on a
+   common connect node produce different sibling orders depending on who
+   goes first, even though neither blocks the other. *)
+let shared_connect fp1 fp2 =
+  let ins = function Mode.SI | Mode.SA | Mode.SB -> true | _ -> false in
+  List.exists
+    (fun (r1, m1) ->
+      ins m1
+      && List.exists
+           (fun (r2, m2) -> ins m2 && Table.compare_resource r1 r2 = 0)
+           fp2)
+    fp1
+
+let decide t (doc1, op1) (doc2, op2) =
+  if doc1 <> doc2 then Commutes
+  else if (not (Op.is_update op1)) && not (Op.is_update op2) then Commutes
+  else
+    match (footprint t ~doc:doc1 op1, footprint t ~doc:doc2 op2) with
+    | None, _ | _, None -> Unknown
+    | Some fp1, Some fp2 ->
+      let vr1 = virtual_reads t ~doc:doc1 op1 in
+      let vr2 = virtual_reads t ~doc:doc2 op2 in
+      if lists_conflict (fp1 @ vr1) (fp2 @ vr2) then Conflicts
+      else if order_sensitive op1 && order_sensitive op2 && shared_connect fp1 fp2
+      then Unknown
+      else if
+        (* Without a DataGuide (Node2PL/Doc2PL/taDOM lock document nodes)
+           there is no schema summary to read positions from, so two
+           non-blocking updates on one document cannot be proved
+           order-insensitive statically. *)
+        Protocol.dataguide t.proto doc1 = None
+        && Op.is_update op1 && Op.is_update op2
+      then Unknown
+      else Commutes
+
+let matrix t ops =
+  Array.map (fun o1 -> Array.map (fun o2 -> decide t o1 o2) ops) ops
+
+let self_check t ops =
+  let m = matrix t ops in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  Array.iteri
+    (fun i (d1, o1) ->
+      Array.iteri
+        (fun j (d2, o2) ->
+          if m.(i).(j) <> m.(j).(i) then
+            err "matrix asymmetric at (%d, %d): %s vs %s" i j
+              (verdict_to_string m.(i).(j))
+              (verdict_to_string m.(j).(i));
+          if d1 = d2 then
+            match (footprint t ~doc:d1 o1, footprint t ~doc:d2 o2) with
+            | Some fp1, Some fp2 ->
+              (* Soundness against the mode matrix: a raw lock-mode conflict
+                 must never be declared commuting (Unknown is acceptable —
+                 it falls back to Conflicts as an independence answer). *)
+              if lists_conflict fp1 fp2 && m.(i).(j) = Commutes then
+                err
+                  "ops %d (%s on %s) and %d (%s on %s) hold conflicting lock \
+                   modes yet were declared commuting"
+                  i (Op.to_string o1) d1 j (Op.to_string o2) d2
+            | None, _ | _, None ->
+              if m.(i).(j) <> Unknown then
+                err "underivable footprint at (%d, %d) must yield unknown" i j)
+        ops)
+    ops;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,63 @@
+(** Static pairwise operation commutativity, decided from lock footprints on
+    the schema summary — never from document instances.
+
+    Following Dekeyser et al.'s instance-independent view of semistructured
+    conflicts, two operations commute when their statically derived
+    footprints — the (resource, mode) sets {!Dtx_protocol.Protocol.lock_requests}
+    computes against the DataGuide — cannot interact:
+
+    - {e different documents}: disjoint resource spaces, commute;
+    - {e two queries}: reads never conflict;
+    - {e lock-mode conflict} on a shared resource (per
+      {!Dtx_locks.Mode.compatible}, after charging each operation a virtual
+      ST read lock on the nodes its paths resolve to, which closes the
+      INSERT AFTER/BEFORE gap where the rules lock the connect node but not
+      the position-defining target): [Conflicts];
+    - two {e order-sensitive} operations (insert/transpose) whose
+      shared-insert locks (SI/SA/SB, mutually compatible by design) meet on
+      a common connect node: [Unknown] — they do not block each other but
+      produce different sibling orders;
+    - otherwise [Commutes].
+
+    [Unknown] is the conservative verdict: consumers needing a yes/no
+    independence answer must treat it as [Conflicts] ({!independent} does).
+    The analyzer owns a {e private} protocol instance over private document
+    copies, because XDGL lock derivation grows the DataGuide for insert
+    targets and that mutation must not touch the system under test. *)
+
+type verdict = Commutes | Conflicts | Unknown
+
+val verdict_to_string : verdict -> string
+
+val independent : verdict -> bool
+(** [true] only for [Commutes] — [Unknown] conservatively counts as a
+    conflict. This is the independence relation the schedule explorer's
+    sleep sets are seeded with. *)
+
+type t
+
+val create :
+  protocol:Dtx_protocol.Protocol.kind -> docs:(string * string) list -> t
+(** [create ~protocol ~docs] builds the analyzer over [(name, xml)]
+    documents. The XML is parsed into private replicas (the analysis
+    instance is never shared with a running cluster). *)
+
+val decide :
+  t -> string * Dtx_update.Op.t -> string * Dtx_update.Op.t -> verdict
+(** [decide t (doc1, op1) (doc2, op2)] — do the operations commute? Purely
+    static: only the DataGuide (or, for instance-based protocols, the
+    document-node footprint) and the mode matrix are consulted. An
+    operation whose footprint cannot be derived (unknown document) yields
+    [Unknown]. *)
+
+val matrix :
+  t -> (string * Dtx_update.Op.t) array -> verdict array array
+(** Pairwise verdicts for a workload's operations; [m.(i).(j)] is
+    [decide t ops.(i) ops.(j)]. Symmetric. *)
+
+val self_check :
+  t -> (string * Dtx_update.Op.t) array -> (unit, string list) result
+(** Soundness audit of {!matrix} over this workload: a raw lock-mode
+    conflict (per {!Dtx_locks.Mode.compatible}, no virtual reads) must
+    never be answered [Commutes], underivable footprints must be [Unknown],
+    and the matrix must be symmetric. *)

@@ -1,0 +1,129 @@
+(** Dtx_explore — stateless model checking of the distributed protocol over
+    the space of {e inequivalent} message-delivery schedules.
+
+    A scenario pins the workload completely (sites, documents, transactions,
+    operations); the only nondeterminism left in the deterministic simulator
+    is {e which pending message delivery fires next}. The explorer replays
+    the cluster from scratch once per schedule, driving that choice through
+    {!Dtx_sim.Sim.set_chooser}, and walks the schedule tree depth-first.
+
+    Partial-order reduction uses {e sleep sets} (Godefroid) seeded by the
+    static independence relation from {!Commute}: two pending deliveries are
+    independent when they target different sites, serve different
+    transactions, and both carry operation shipments whose payloads pairwise
+    [Commutes]. Sleep sets alone are conservative — every reachable state is
+    still visited, only provably-equivalent interleavings are skipped — so a
+    clean exhaustive run is a proof over the {e whole} schedule space (unless
+    [o_truncated] says a budget was hit).
+
+    Each replay is audited by the {!Dtx_check.Checker} oracle; seeded
+    protocol bugs ({!mutation}) validate that the explorer actually reaches
+    the schedules where a bug manifests. *)
+
+(** {1 Scenarios} *)
+
+type scenario = {
+  sc_name : string;
+  sc_about : string;  (** one-line description for [--list] output *)
+  sc_sites : int;
+  sc_docs : (string * string * int list) list;
+      (** (name, xml, placement sites) *)
+  sc_txns : (int * (string * string) list) list;
+      (** (coordinator site, (doc, op source text) list); submitted in list
+          order, so entry [k] becomes transaction id [k+1] *)
+}
+
+val reference : scenario
+(** ["ref"] — the acceptance scenario: 2 txns × 2 sites, conflicting on each
+    site, independent across sites (so naive exploration overcounts). *)
+
+val disjoint : scenario
+(** ["disjoint"] — fully commuting single-op writers; maximal reduction. *)
+
+val deadlock : scenario
+(** ["deadlock"] — opposite-order writers; exercises detector + victim rule
+    in every interleaving where both block. *)
+
+val scenarios : scenario list
+
+val find_scenario : string -> scenario option
+
+(** {1 Configuration} *)
+
+(** Seeded protocol bugs, mirroring [dtx_cli check --mutate]:
+    - [Compat_flip] makes ST/IX compatible in a lattice audit — a static
+      fault every schedule reports;
+    - [Skip_release] hides the last transaction's end-of-transaction lock
+      releases from the checker — {e schedule-dependent}: only interleavings
+      where a rival acquires afterwards expose it (found by exploration,
+      missed by bounded-jitter random schedules);
+    - [Commit_reorder] hides the last transaction's yes-votes, so under 2PC
+      its commit precedes any complete prepare round. *)
+type mutation = Compat_flip | Skip_release | Commit_reorder
+
+val mutation_to_string : mutation -> string
+
+val mutation_of_string : string -> mutation option
+
+type config = {
+  protocol : Dtx_protocol.Protocol.kind;
+  two_phase : bool;  (** 2PC commit instead of the paper's one-phase *)
+  naive : bool;
+      (** disable sleep sets: explore every delivery order (the baseline the
+          ≥2× reduction gate compares against) *)
+  mutate : mutation option;
+  max_schedules : int;  (** explored + pruned budget; sets [o_truncated] *)
+  max_events : int;  (** per-replay simulator event budget *)
+  ring : int;  (** checker event-ring capacity per replay *)
+  suffix : int;  (** events quoted per violation report *)
+}
+
+val default_config : config
+(** XDGL, one-phase, DPOR on, no mutation, 20k schedules, ring 64. *)
+
+(** {1 Outcomes} *)
+
+type violating_schedule = {
+  vs_path : int list;
+      (** decision sequence (enabled-set indices) replaying the schedule *)
+  vs_violations : Dtx_check.Checker.violation list;
+}
+
+type outcome = {
+  o_scenario : string;
+  o_config : config;
+  o_explored : int;  (** complete replays (inequivalent schedules) *)
+  o_pruned : int;
+      (** redundant schedules avoided: sleep-suppressed alternatives plus
+          replays cut short because every enabled choice slept *)
+  o_max_depth : int;  (** longest decision sequence seen *)
+  o_violating : violating_schedule list;  (** first few, with full reports *)
+  o_violations : int;  (** total violations across all schedules *)
+  o_unsound : string list;  (** {!Commute.self_check} findings (gate input) *)
+  o_truncated : bool;
+      (** a budget cap was hit: results are a bounded, not exhaustive,
+          statement *)
+}
+
+(** {1 Running} *)
+
+val explore : ?config:config -> scenario -> outcome
+(** Exhaustively (up to [max_schedules]) explore the scenario's delivery
+    schedules. Every replay builds a fresh simulator/net/cluster, so calls
+    are independent and deterministic. *)
+
+val random_run :
+  ?jitter_ms:float -> scenario -> config -> seed:int -> Dtx_check.Checker.violation list
+(** One chaos-style baseline run: no chooser, instead a seeded fault plan
+    adds uniform [0, jitter_ms) delivery offsets to remote messages (local
+    deliveries keep their fixed zero delay — exactly why jitter alone cannot
+    reorder a local shipment past a remote round trip, and why
+    [Skip_release] hides from this baseline). Default jitter 2.0 ms. *)
+
+val random_runs :
+  ?jitter_ms:float ->
+  scenario ->
+  config ->
+  seeds:int list ->
+  (int * Dtx_check.Checker.violation list) list
+(** [random_run] per seed, pairing each seed with its violations. *)

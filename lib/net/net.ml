@@ -1,14 +1,4 @@
 module Sim = Dtx_sim.Sim
-
-type profile = {
-  base_latency_ms : float;
-  per_kb_ms : float;
-}
-
-let lan = { base_latency_ms = 0.35; per_kb_ms = 0.08 }
-
-let wan = { base_latency_ms = 20.0; per_kb_ms = 0.8 }
-
 module Rng = Dtx_util.Rng
 
 module Config = struct
@@ -56,6 +46,12 @@ type fault = {
   f_deliverable : time:float -> src:int -> dst:int -> bool;
 }
 
+type delivery = {
+  d_src : int;
+  d_dst : int;
+  d_msg : Msg.t;
+}
+
 type t = {
   sim : Sim.t;
   base_latency_ms : float;
@@ -71,11 +67,16 @@ type t = {
   mutable handler : handler option;
   mutable tracer : tracer option;
   mutable fault : fault option;
+  (* Every in-flight [dispatch] copy, keyed by its simulator event id, so a
+     schedule explorer can tell which pending events are message deliveries
+     (and to whom). Entries retire when the delivery event fires — including
+     copies a mid-flight partition then swallows. *)
+  pending : (Sim.event_id, delivery) Hashtbl.t;
 }
 
 let of_config ~sim (c : Config.t) =
   if c.Config.drop_pct < 0 || c.Config.drop_pct > 100 then
-    invalid_arg "Net.create: drop_pct";
+    invalid_arg "Net.of_config: drop_pct";
   { sim;
     base_latency_ms = c.Config.base_latency_ms;
     per_kb_ms = c.Config.per_kb_ms;
@@ -89,16 +90,8 @@ let of_config ~sim (c : Config.t) =
     bytes_by_kind = Array.make Msg.Kind.count 0;
     handler = None;
     tracer = None;
-    fault = None }
-
-let create ~sim ?(profile = lan) ?base_latency_ms ?per_kb_ms ?(drop_pct = 0)
-    ?(seed = 1) () =
-  let pick override dflt = match override with Some v -> v | None -> dflt in
-  of_config ~sim
-    { Config.base_latency_ms = pick base_latency_ms profile.base_latency_ms;
-      per_kb_ms = pick per_kb_ms profile.per_kb_ms;
-      drop_pct;
-      seed }
+    fault = None;
+    pending = Hashtbl.create 16 }
 
 let set_handler t h = t.handler <- Some h
 
@@ -169,8 +162,21 @@ let dispatch t ~src ~dst ?(channel = Reliable) msg =
           if f.f_deliverable ~time:(Sim.now t.sim) ~src ~dst then k ()
           else count_drop ()
     in
+    let schedule_delivery delay =
+      let body = deliver () in
+      let id = ref None in
+      let seq =
+        Sim.schedule t.sim ~delay (fun () ->
+            (match !id with
+             | Some seq -> Hashtbl.remove t.pending seq
+             | None -> ());
+            body ())
+      in
+      id := Some seq;
+      Hashtbl.replace t.pending seq { d_src = src; d_dst = dst; d_msg = msg }
+    in
     match t.fault with
-    | None -> ignore (Sim.schedule t.sim ~delay (deliver ()))
+    | None -> schedule_delivery delay
     | Some f -> (
       (* Local deliveries never cross a link, so send-time faults do not
          apply; the delivery-time check still guards a crashed site. *)
@@ -182,11 +188,12 @@ let dispatch t ~src ~dst ?(channel = Reliable) msg =
       | [] -> count_drop ()
       | offsets ->
         List.iter
-          (fun off ->
-            ignore (Sim.schedule t.sim ~delay:(delay +. Float.max 0.0 off)
-                      (deliver ())))
+          (fun off -> schedule_delivery (delay +. Float.max 0.0 off))
           offsets)
   end
+
+let pending_deliveries t =
+  Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) t.pending []
 
 let messages t = t.messages
 

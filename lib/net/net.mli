@@ -56,32 +56,8 @@ end
 
 val of_config : sim:Dtx_sim.Sim.t -> Config.t -> t
 (** The constructor. [Net.of_config ~sim Net.Config.lan] is the common
-    case; derive variants with the [Config.with_*] updaters. *)
-
-type profile = {
-  base_latency_ms : float;
-  per_kb_ms : float;
-}
-(** @deprecated Use {!Config.t}. Kept so pre-[Config] callers compile. *)
-
-val lan : profile
-(** @deprecated Use {!Config.lan}. *)
-
-val wan : profile
-(** @deprecated Use {!Config.wan}. *)
-
-val create :
-  sim:Dtx_sim.Sim.t ->
-  ?profile:profile ->
-  ?base_latency_ms:float ->
-  ?per_kb_ms:float ->
-  ?drop_pct:int ->
-  ?seed:int ->
-  unit ->
-  t
-(** @deprecated Thin wrapper over {!of_config}: builds a {!Config.t} from
-    [profile] (default {!lan}) with the scalar arguments overriding its
-    fields individually. New code should call {!of_config}. *)
+    case; derive variants with the [Config.with_*] updaters.
+    @raise Invalid_argument if [drop_pct] is outside 0..100. *)
 
 (** Which transport a message rides. [Reliable] models a retransmitting
     channel: exempt from the {!Config.t} lossy link and from fault-plan
@@ -150,6 +126,22 @@ val send :
 
 val latency : t -> src:int -> dst:int -> bytes:int -> float
 (** The delay a message would incur. *)
+
+type delivery = {
+  d_src : int;
+  d_dst : int;
+  d_msg : Msg.t;
+}
+(** One in-flight {!dispatch} copy: the payload a pending simulator event
+    will hand the handler when it fires. *)
+
+val pending_deliveries : t -> (Dtx_sim.Sim.event_id * delivery) list
+(** Every in-flight message copy, keyed by its simulator event id (the same
+    ids {!Dtx_sim.Sim.candidates} reports), in no particular order. This is
+    how the schedule explorer distinguishes reorderable message deliveries
+    from internal timers among the pending events. Entries leave the set
+    when their event fires — even if a mid-flight partition then swallows
+    the copy. The untyped {!send} path is not tracked. *)
 
 val messages : t -> int
 (** Remote messages sent so far. *)

@@ -9,10 +9,17 @@ type event = {
 
 type event_id = int
 
+type candidate = { c_time : float; c_seq : event_id }
+
 (* [live] maps the seq of every still-queued event to the event itself, so
    cancel can mark the event in place and a cancel aimed at an already-fired
    (or unknown) id is a true no-op — nothing is ever retained for ids that
-   are no longer in the queue. *)
+   are no longer in the queue.
+
+   With a chooser installed the heap is demoted to a hint: the chooser picks
+   any live event, [fire] drops it from [live], and later heap pops skip
+   entries whose seq is no longer live (lazy deletion — [Heap] has no
+   arbitrary removal). *)
 type t = {
   mutable clock : float;
   mutable next_seq : int;
@@ -20,6 +27,7 @@ type t = {
   live : (int, event) Hashtbl.t;
   mutable cancelled_pending : int;
   mutable tracer : (time:float -> seq:int -> unit) option;
+  mutable chooser : (candidate list -> event_id) option;
 }
 
 let cmp_event a b =
@@ -32,9 +40,12 @@ let create () =
     queue = Heap.create ~cmp:cmp_event;
     live = Hashtbl.create 16;
     cancelled_pending = 0;
-    tracer = None }
+    tracer = None;
+    chooser = None }
 
 let set_tracer t tr = t.tracer <- tr
+
+let set_chooser t c = t.chooser <- c
 
 let now t = t.clock
 
@@ -66,40 +77,99 @@ let rec every t ~period ?start f =
   ignore
     (schedule t ~delay (fun () -> if f () then every t ~period ~start:period f))
 
-let pending t = Heap.length t.queue
+let pending t = Hashtbl.length t.live
 
+(* A chooser may fire events behind the timestamp frontier, so the clock
+   only ever ratchets forward; without a chooser [ev.time >= t.clock] always
+   holds and this is the old assignment. The tracer sees the post-advance
+   clock, keeping the observed tick sequence monotone either way. *)
 let fire t ev =
-  t.clock <- ev.time;
+  if ev.time > t.clock then t.clock <- ev.time;
   (match t.tracer with
-   | Some tr -> tr ~time:ev.time ~seq:ev.seq
+   | Some tr -> tr ~time:t.clock ~seq:ev.seq
    | None -> ());
   Hashtbl.remove t.live ev.seq;
   if ev.cancelled then t.cancelled_pending <- t.cancelled_pending - 1
   else ev.action ()
 
-let step t =
+(* Pop heap entries until one is still live (lazy deletion of events a
+   chooser already fired out of band). *)
+let rec pop_live t =
   match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-    fire t ev;
-    true
+  | None -> None
+  | Some ev -> if Hashtbl.mem t.live ev.seq then Some ev else pop_live t
+
+let candidates t =
+  (* Cancelled events never reach a chooser: retire them here so a chosen
+     schedule branches only on events that will actually run. *)
+  let dead =
+    Hashtbl.fold (fun seq ev acc -> if ev.cancelled then seq :: acc else acc)
+      t.live []
+  in
+  List.iter
+    (fun seq ->
+      Hashtbl.remove t.live seq;
+      t.cancelled_pending <- t.cancelled_pending - 1)
+    dead;
+  Hashtbl.fold (fun _ ev acc -> { c_time = ev.time; c_seq = ev.seq } :: acc)
+    t.live []
+  |> List.sort (fun a b ->
+         let c = compare a.c_time b.c_time in
+         if c <> 0 then c else compare a.c_seq b.c_seq)
+
+let step t =
+  match t.chooser with
+  | None -> (
+    match pop_live t with
+    | None -> false
+    | Some ev ->
+      fire t ev;
+      true)
+  | Some choose -> (
+    match candidates t with
+    | [] -> false
+    | cands -> (
+      let seq = choose cands in
+      match Hashtbl.find_opt t.live seq with
+      | Some ev ->
+        fire t ev;
+        true
+      | None -> invalid_arg "Sim.step: chooser picked a dead event"))
+
+let next_time t =
+  match t.chooser with
+  | None -> (
+    (* peek through stale heap entries without losing the live one *)
+    let rec peek () =
+      match Heap.peek t.queue with
+      | None -> None
+      | Some ev ->
+        if Hashtbl.mem t.live ev.seq then Some ev.time
+        else begin
+          ignore (Heap.pop t.queue);
+          peek ()
+        end
+    in
+    peek ())
+  | Some _ -> (
+    match candidates t with [] -> None | c :: _ -> Some c.c_time)
 
 let run ?until ?max_events t =
   let fired = ref 0 in
   let continue () =
     match max_events with Some m -> !fired < m | None -> true
   in
-  let in_horizon ev =
-    match until with Some u -> ev.time <= u | None -> true
+  let in_horizon tm =
+    match until with Some u -> tm <= u | None -> true
   in
   let rec loop () =
     if continue () then
-      match Heap.peek t.queue with
-      | Some ev when in_horizon ev ->
-        ignore (Heap.pop t.queue);
-        fire t ev;
-        incr fired;
-        loop ()
+      match next_time t with
+      | Some tm when in_horizon tm ->
+        if step t then begin
+          incr fired;
+          loop ()
+        end
       | _ -> ()
   in
   loop ()

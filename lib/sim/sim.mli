@@ -49,10 +49,34 @@ val pending : t -> int
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** [run sim] processes events in timestamp order until the queue drains, the
     clock passes [until], or [max_events] events have fired. The clock ends at
-    the last processed event's time. *)
+    the last processed event's time. With a {!set_chooser} hook installed,
+    [until] bounds the {e earliest} pending event (the chooser may still fire
+    a later one) and "timestamp order" becomes whatever the chooser picks. *)
 
 val step : t -> bool
 (** [step sim] processes exactly one event; [false] if the queue was empty. *)
+
+(** {1 Controllable scheduling — the model-checking hook} *)
+
+type candidate = { c_time : float; c_seq : event_id }
+(** One pending event a chooser may fire next. *)
+
+val candidates : t -> candidate list
+(** Every live, non-cancelled event, sorted by (time, seq) — the enabled set
+    a schedule explorer branches over. Calling this retires events already
+    {!cancel}led (they are not schedule choices), so it perturbs
+    {!cancelled_backlog}; the normal dispatch path never calls it. *)
+
+val set_chooser : t -> (candidate list -> event_id) option -> unit
+(** Install (or remove) a scheduler hook. While installed, {!step} (and
+    {!run}) present the full {!candidates} list and fire the event whose id
+    the hook returns instead of the earliest one — this is how the schedule
+    explorer substitutes its own delivery/interleaving order. Firing an
+    event behind the timestamp frontier never rewinds the clock: the clock
+    advances to [max now chosen.c_time], so [now] stays monotone and events
+    the fired action schedules land in the future. With [None] (the
+    default) dispatch order is the classic (time, seq) heap order.
+    @raise Invalid_argument if the hook returns an id that is not live. *)
 
 val set_tracer : t -> (time:float -> seq:int -> unit) option -> unit
 (** Install (or remove) a trace sink called for every fired event (cancelled

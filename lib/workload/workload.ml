@@ -230,6 +230,35 @@ let pp_result ppf r =
       r.traffic
   end
 
+type script = {
+  sc_client : int;
+  sc_coordinator : int;
+  sc_txns : (string * Op.t) list list;
+}
+
+let submit_script ?(retries = 0) cluster scripts =
+  List.iter
+    (fun sc ->
+      if sc.sc_txns <> [] then begin
+        let rec submit_txn remaining retries_left ops =
+          Cluster.submit cluster ~client:sc.sc_client
+            ~coordinator:sc.sc_coordinator ~ops
+            ~on_finish:(fun txn ->
+              match txn.Txn.status with
+              | Txn.Aborted when retries_left > 0 ->
+                submit_txn remaining (retries_left - 1) ops
+              | Txn.Committed | Txn.Aborted | Txn.Failed -> next remaining
+              | Txn.Active | Txn.Waiting -> assert false)
+          |> ignore
+        and next remaining =
+          match remaining with
+          | [] -> ()
+          | ops :: rest -> submit_txn rest retries ops
+        in
+        next sc.sc_txns
+      end)
+    scripts
+
 type aggregate = {
   runs : result list;
   mean_response : Stats.summary;

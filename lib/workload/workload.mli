@@ -81,6 +81,28 @@ val run : ?instrument:(Dtx.Cluster.t -> unit) -> params -> result
 val pp_result : Format.formatter -> result -> unit
 (** One-paragraph human-readable summary. *)
 
+(** {2 Scripted workloads — the stepwise driver}
+
+    The schedule explorer (and any test wanting a {e fixed} workload on a
+    hand-built cluster) bypasses generation entirely: a {!script} pins one
+    client's transactions down to the operation, and {!submit_script} wires
+    the same sequential submit-on-finish client loop {!run} uses, with no
+    randomness. Replayed on a deterministic cluster, the only remaining
+    degrees of freedom are the scheduling choices the explorer controls. *)
+type script = {
+  sc_client : int;
+  sc_coordinator : int;  (** site whose Listener receives the submissions *)
+  sc_txns : (string * Dtx_update.Op.t) list list;
+      (** transactions, submitted back-to-back; each is (doc, op) list *)
+}
+
+val submit_script : ?retries:int -> Dtx.Cluster.t -> script list -> unit
+(** Attach each script's client to [cluster]: the first transaction of every
+    script is submitted immediately, each subsequent one from its
+    predecessor's [on_finish] (aborted transactions are resubmitted up to
+    [retries] times, default 0). Returns once the submissions are wired —
+    drive the cluster's simulator to execute them. *)
+
 (** Cross-seed aggregation: the paper reports single runs; [run_many]
     quantifies how sensitive a configuration's metrics are to the workload
     seed (EXPERIMENTS.md quotes these to justify calling single-seed

@@ -30,7 +30,7 @@ let d2_text =
 let make_cluster ?(protocol = Protocol.Xdgl) ?(deadlock_period_ms = 5.0)
     ?(commit = Cluster.One_phase) () =
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let d1 = Xml_parser.parse ~name:"d1" d1_text in
   let d2 = Xml_parser.parse ~name:"d2" d2_text in
   let placements =
@@ -421,7 +421,7 @@ let test_cluster_on_paged_storage () =
   in
   ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let d1 = Xml_parser.parse ~name:"d1" d1_text in
   let config =
     { (Cluster.default_config ()) with
@@ -455,7 +455,7 @@ let test_cluster_on_paged_storage () =
 
 let make_policy_cluster policy =
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let d1 = Xml_parser.parse ~name:"d1" d1_text in
   let d2 = Xml_parser.parse ~name:"d2" d2_text in
   let placements =
@@ -551,7 +551,7 @@ let test_lossy_network_all_txns_terminate () =
   (* With 10% operation-message loss and timeouts, every transaction still
      reaches a final state, locks never leak, and replicas stay equal. *)
   let sim = Sim.create () in
-  let net = Net.create ~sim ~drop_pct:10 ~seed:99 () in
+  let net = Net.of_config ~sim { Net.Config.lan with drop_pct = 10; seed = 99 } in
   let d1 = Xml_parser.parse ~name:"d1" d1_text in
   let placements = [ { Allocation.doc = d1; sites = [ 0; 1 ] } ] in
   let config =
@@ -592,7 +592,7 @@ let test_lossy_network_all_txns_terminate () =
 
 let test_reliable_network_drops_nothing () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~drop_pct:0 () in
+  let net = Net.of_config ~sim { Net.Config.lan with drop_pct = 0 } in
   ignore sim;
   check "no drops configured" 0 (Net.dropped net)
 

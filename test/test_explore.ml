@@ -1,0 +1,266 @@
+(* Tests for Dtx_explore: the static commutativity analysis (QCheck-validated
+   against actual operation execution), the sleep-set schedule explorer on
+   the pinned scenarios, its reduction factor against naive enumeration, and
+   the seeded-bug coverage that random schedules cannot provide. *)
+
+module Sim = Dtx_sim.Sim
+module Net = Dtx_net.Net
+module Cluster = Dtx.Cluster
+module Txn = Dtx_txn.Txn
+module Op = Dtx_update.Op
+module Exec = Dtx_update.Exec
+module Protocol = Dtx_protocol.Protocol
+module Allocation = Dtx_frag.Allocation
+module Xml_parser = Dtx_xml.Parser
+module Printer = Dtx_xml.Printer
+module Commute = Dtx_explore.Commute
+module Explore = Dtx_explore.Explore
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- the commutativity analyzer ------------------------------------------ *)
+
+let pool_doc = "<r><a><x>hello</x><y>1</y></a><b><z>2</z></b></r>"
+
+let op src =
+  match Op.parse src with
+  | Ok o -> o
+  | Error e -> Alcotest.failf "bad op %S: %s" src e
+
+(* A pool rich enough to exercise every rule: reads, writes, structure
+   changes, and the INSERT AFTER/BEFORE positional reads the virtual-ST
+   closure exists for. *)
+let pool =
+  [| "QUERY /r/a";
+     "QUERY /r/b/z";
+     "CHANGE /r/a/x TO \"v1\"";
+     "CHANGE /r/a/y TO \"v2\"";
+     "CHANGE /r/b/z TO \"v3\"";
+     "REMOVE /r/a/y";
+     "REMOVE /r/b";
+     "RENAME /r/a/x TO w";
+     "INSERT INTO /r/b <n>9</n>";
+     "INSERT AFTER /r/a/x <m>8</m>";
+     "INSERT BEFORE /r/b/z <k>7</k>";
+     "INSERT AFTER /r/a/y <m2>6</m2>" |]
+
+let analyzer () = Commute.create ~protocol:Protocol.Xdgl ~docs:[ ("D", pool_doc) ]
+
+let decide t i j = Commute.decide t ("D", op pool.(i)) ("D", op pool.(j))
+
+let test_decide_expectations () =
+  let t = analyzer () in
+  let cross =
+    Commute.decide t ("D", op "CHANGE /r/a/x TO \"v\"") ("E", op "REMOVE /r/b")
+  in
+  checkb "different documents commute" true (cross = Commute.Commutes);
+  checkb "two queries commute" true (decide t 0 1 = Commute.Commutes);
+  checkb "query vs change of same subtree conflicts" true
+    (decide t 0 2 = Commute.Conflicts);
+  checkb "disjoint-subtree writes commute" true (decide t 2 4 = Commute.Commutes);
+  (* INSERT AFTER /r/a/x reads x's position; the rules lock only the connect
+     node, the analyzer's virtual ST must still see RENAME's XT on x. *)
+  checkb "insert-after vs rename of its target conflicts" true
+    (decide t 9 7 = Commute.Conflicts);
+  (* INSERT INTO's own virtual position read on the connect node collides
+     with the sibling insert's SB lock there: conservatively Conflicts. *)
+  checkb "insert-into vs insert-before same parent conflicts" true
+    (decide t 8 10 = Commute.Conflicts);
+  (* Two INSERT AFTERs with different targets under one parent: mutually
+     compatible SA locks, no footprint conflict, but sibling order depends
+     on who goes first. *)
+  checkb "order-sensitive insert pair is unknown" true
+    (decide t 9 11 = Commute.Unknown);
+  checkb "unknown is not independence" false (Commute.independent Commute.Unknown)
+
+let test_self_check () =
+  let t = analyzer () in
+  let ops = Array.map (fun src -> ("D", op src)) pool in
+  (match Commute.self_check t ops with
+   | Ok () -> ()
+   | Error msgs -> Alcotest.failf "self-check: %s" (String.concat "; " msgs));
+  let m = Commute.matrix t ops in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v -> checkb "matrix symmetric" true (v = m.(j).(i)))
+        row)
+    m
+
+(* Soundness against the executable semantics: whenever the static verdict
+   is Commutes, applying the two operations in either order on fresh copies
+   of the document must yield byte-identical results. *)
+let apply_both i j =
+  let doc = Xml_parser.parse ~name:"D" pool_doc in
+  (match Exec.apply doc (op pool.(i)) with Ok _ | Error _ -> ());
+  (match Exec.apply doc (op pool.(j)) with Ok _ | Error _ -> ());
+  Printer.to_string doc
+
+let prop_commutes_is_sound =
+  QCheck.Test.make ~name:"Commutes implies order-insensitive execution"
+    ~count:300
+    QCheck.(pair (int_bound (Array.length pool - 1))
+              (int_bound (Array.length pool - 1)))
+    (fun (i, j) ->
+      let t = analyzer () in
+      match decide t i j with
+      | Commute.Commutes -> String.equal (apply_both i j) (apply_both j i)
+      | Commute.Conflicts | Commute.Unknown -> true)
+
+(* --- exhaustive exploration ---------------------------------------------- *)
+
+let explore ?(mutate = None) ?(naive = false) ?(two_phase = false)
+    ?(protocol = Protocol.Xdgl) scen =
+  Explore.explore
+    ~config:
+      { Explore.default_config with
+        Explore.protocol; two_phase; naive; mutate }
+    scen
+
+let assert_clean label (o : Explore.outcome) =
+  checkb (label ^ ": commute analysis sound") true (o.Explore.o_unsound = []);
+  checkb (label ^ ": not truncated") false o.Explore.o_truncated;
+  checkb (label ^ ": explored some schedules") true (o.Explore.o_explored > 0);
+  checki (label ^ ": zero violations") 0 o.Explore.o_violations
+
+let test_ref_exhaustive_xdgl () =
+  assert_clean "xdgl" (explore Explore.reference)
+
+let test_ref_exhaustive_node2pl () =
+  assert_clean "node2pl" (explore ~protocol:Protocol.Node2pl Explore.reference)
+
+let test_ref_exhaustive_2pc () =
+  assert_clean "xdgl+2pc" (explore ~two_phase:true Explore.reference)
+
+let test_deadlock_exhaustive () =
+  (* Every interleaving either serializes or deadlocks; the oracle checks
+     the detector recovers and always kills the correct victim. *)
+  assert_clean "deadlock" (explore Explore.deadlock)
+
+let test_reduction_factor () =
+  let dpor = explore Explore.reference in
+  let naive = explore ~naive:true Explore.reference in
+  assert_clean "dpor" dpor;
+  assert_clean "naive" naive;
+  checkb
+    (Printf.sprintf "reduction >= 2x (naive %d vs dpor %d)"
+       naive.Explore.o_explored dpor.Explore.o_explored)
+    true
+    (naive.Explore.o_explored >= 2 * dpor.Explore.o_explored)
+
+let test_disjoint_collapses () =
+  (* Fully commuting transactions: sleep sets must collapse the whole
+     delivery-order space to a single representative schedule. *)
+  let o = explore Explore.disjoint in
+  assert_clean "disjoint" o;
+  checki "single schedule" 1 o.Explore.o_explored;
+  checkb "pruning happened" true (o.Explore.o_pruned > 0)
+
+(* --- seeded-bug coverage -------------------------------------------------- *)
+
+let test_skip_release_found_by_exploration () =
+  let o = explore ~mutate:(Some Explore.Skip_release) Explore.reference in
+  checkb "explorer finds the hidden release" true (o.Explore.o_violations > 0);
+  checkb "a violating schedule is reported" true (o.Explore.o_violating <> []);
+  let vs = List.hd o.Explore.o_violating in
+  checkb "violating schedule carries its decision path" true
+    (vs.Explore.vs_path <> [])
+
+let test_skip_release_missed_by_random () =
+  (* The bug needs the last transaction's local shipment postponed past its
+     rival's full remote round trip — bounded jitter on remote links can
+     never reorder a zero-delay local delivery that far. *)
+  let cfg =
+    { Explore.default_config with Explore.mutate = Some Explore.Skip_release }
+  in
+  let seeds = List.init 50 (fun i -> i + 1) in
+  let runs = Explore.random_runs Explore.reference cfg ~seeds in
+  checki "50 seeds" 50 (List.length runs);
+  List.iter
+    (fun (seed, vs) ->
+      checki (Printf.sprintf "seed %d sees no violation" seed) 0
+        (List.length vs))
+    runs
+
+let test_commit_reorder_found () =
+  let o =
+    explore ~two_phase:true ~mutate:(Some Explore.Commit_reorder)
+      Explore.reference
+  in
+  checkb "2pc-order violation found" true (o.Explore.o_violations > 0)
+
+let test_compat_flip_found () =
+  let o = explore ~mutate:(Some Explore.Compat_flip) Explore.reference in
+  checkb "lattice violation found" true (o.Explore.o_violations > 0)
+
+(* --- deadlock victim tie-break ------------------------------------------- *)
+
+let test_victim_timestamp_tie () =
+  (* Both transactions are submitted at virtual time 0.0 and deadlock by
+     acquiring the two documents in opposite orders. With equal admission
+     timestamps the newest-transaction rule must fall back to the larger
+     txn id — deterministically killing t2, never t1. *)
+  let sim = Sim.create () in
+  let net = Net.of_config ~sim Net.Config.lan in
+  let placements =
+    [ { Allocation.doc = Xml_parser.parse ~name:"A" "<r><a><x>0</x></a></r>";
+        sites = [ 0 ] };
+      { Allocation.doc = Xml_parser.parse ~name:"B" "<r><b><y>0</y></b></r>";
+        sites = [ 1 ] } ]
+  in
+  let config =
+    { (Cluster.default_config ~protocol:Protocol.Xdgl ()) with
+      deadlock_period_ms = 5.0 }
+  in
+  let cluster = Cluster.create ~sim ~net ~n_sites:2 config ~placements in
+  Cluster.shutdown_when_idle cluster;
+  let statuses = Hashtbl.create 2 in
+  let submit ~coordinator ops =
+    Cluster.submit cluster ~client:0 ~coordinator ~ops
+      ~on_finish:(fun txn ->
+        Hashtbl.replace statuses txn.Txn.id txn.Txn.status)
+    |> ignore
+  in
+  let ch doc path = (doc, op (Printf.sprintf "CHANGE %s TO \"9\"" path)) in
+  submit ~coordinator:0 [ ch "A" "/r/a/x"; ch "B" "/r/b/y" ];
+  submit ~coordinator:1 [ ch "B" "/r/b/y"; ch "A" "/r/a/x" ];
+  Sim.run sim;
+  checkb "t1 committed" true
+    (Hashtbl.find_opt statuses 1 = Some Txn.Committed);
+  checkb "t2 aborted (tie broken by id)" true
+    (Hashtbl.find_opt statuses 2 = Some Txn.Aborted)
+
+(* --- registration --------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "explore"
+    [ ( "commute",
+        [ Alcotest.test_case "verdict expectations" `Quick
+            test_decide_expectations;
+          Alcotest.test_case "self-check and symmetry" `Quick test_self_check;
+          QCheck_alcotest.to_alcotest prop_commutes_is_sound ] );
+      ( "explore",
+        [ Alcotest.test_case "ref exhaustive (XDGL)" `Quick
+            test_ref_exhaustive_xdgl;
+          Alcotest.test_case "ref exhaustive (Node2PL)" `Quick
+            test_ref_exhaustive_node2pl;
+          Alcotest.test_case "ref exhaustive (XDGL+2PC)" `Quick
+            test_ref_exhaustive_2pc;
+          Alcotest.test_case "deadlock scenario exhaustive" `Quick
+            test_deadlock_exhaustive;
+          Alcotest.test_case "DPOR reduction >= 2x" `Quick
+            test_reduction_factor;
+          Alcotest.test_case "disjoint collapses to one schedule" `Quick
+            test_disjoint_collapses ] );
+      ( "mutations",
+        [ Alcotest.test_case "skip-release found by exploration" `Quick
+            test_skip_release_found_by_exploration;
+          Alcotest.test_case "skip-release missed by 50 random seeds" `Quick
+            test_skip_release_missed_by_random;
+          Alcotest.test_case "commit-reorder found" `Quick
+            test_commit_reorder_found;
+          Alcotest.test_case "compat-flip found" `Quick test_compat_flip_found ] );
+      ( "victim",
+        [ Alcotest.test_case "equal-timestamp tie broken by id" `Quick
+            test_victim_timestamp_tie ] ) ]

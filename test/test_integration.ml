@@ -40,7 +40,7 @@ let replica cluster ~site ~doc =
    Site s1 holds d1; site s2 holds d1 AND d2 (the paper's Fig. 4). *)
 let scenario_cluster () =
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let d1 =
     Xml_parser.parse ~name:"d1"
       "<people><person><id>4</id><name>Ana</name></person></people>"
@@ -131,7 +131,7 @@ let test_scenario_2_4 () =
 
 let run_random_cluster ~protocol ~seed ~n_txns =
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let base = Generator.generate ~name:"x" (Generator.params_of_nodes 800) in
   let frags = Fragment.fragment base ~parts:3 in
   let placements =
@@ -211,7 +211,7 @@ let test_serializable_small () =
   let doc_text = "<r><box><n>0</n></box><bin/></r>" in
   let mk_cluster () =
     let sim = Sim.create () in
-    let net = Net.create ~sim () in
+    let net = Net.of_config ~sim Net.Config.lan in
     let d = Xml_parser.parse ~name:"d" doc_text in
     let placements = [ { Allocation.doc = d; sites = [ 0; 1 ] } ] in
     let config = { (Cluster.default_config ()) with deadlock_period_ms = 5.0 } in
@@ -271,7 +271,7 @@ let test_serializable_many_seeds () =
   List.iter
     (fun seed ->
       let sim = Sim.create () in
-      let net = Net.create ~sim () in
+      let net = Net.of_config ~sim Net.Config.lan in
       let d = Xml_parser.parse ~name:"d" "<r><slot><v>init</v></slot></r>" in
       let placements = [ { Allocation.doc = d; sites = [ 0; 1; 2 ] } ] in
       let config = { (Cluster.default_config ()) with deadlock_period_ms = 3.0 } in
@@ -325,7 +325,7 @@ let prop_random_configs_hold_invariants =
       let policy = policies.(policy_i mod Array.length policies) in
       let commit = commits.(seed mod 2) in
       let sim = Sim.create () in
-      let net = Net.create ~sim () in
+      let net = Net.of_config ~sim Net.Config.lan in
       let base = Generator.generate ~name:"x" (Generator.params_of_nodes 500) in
       let frags = Fragment.fragment base ~parts:n_sites in
       let placements =

@@ -9,14 +9,16 @@ let checkb = Alcotest.(check bool)
 
 let test_latency_model () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~base_latency_ms:1.0 ~per_kb_ms:2.0 () in
+  let net = Net.of_config ~sim
+      { Net.Config.lan with base_latency_ms = 1.0; per_kb_ms = 2.0 } in
   checkf "local free" 0.0 (Net.latency net ~src:1 ~dst:1 ~bytes:4096);
   checkf "base only" 1.0 (Net.latency net ~src:0 ~dst:1 ~bytes:0);
   checkf "base + size" 3.0 (Net.latency net ~src:0 ~dst:1 ~bytes:1024)
 
 let test_delivery_time () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~base_latency_ms:0.5 ~per_kb_ms:0.0 () in
+  let net = Net.of_config ~sim
+      { Net.Config.lan with base_latency_ms = 0.5; per_kb_ms = 0.0 } in
   let at = ref (-1.0) in
   Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> at := Sim.now sim);
   Sim.run sim;
@@ -26,7 +28,7 @@ let test_local_delivery_still_async () =
   (* src = dst delivers through the event queue (causal ordering), at the
      current time. *)
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let order = ref [] in
   Net.send net ~src:0 ~dst:0 ~bytes:64 (fun () -> order := "delivered" :: !order);
   order := "after-send" :: !order;
@@ -36,7 +38,7 @@ let test_local_delivery_still_async () =
 
 let test_counters () =
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   Net.send net ~src:0 ~dst:1 ~bytes:100 (fun () -> ());
   Net.send net ~src:1 ~dst:2 ~bytes:200 (fun () -> ());
   Net.send net ~src:2 ~dst:2 ~bytes:999 (fun () -> ());
@@ -48,7 +50,7 @@ let test_counters () =
 let test_fifo_per_link () =
   (* Messages of the same size on the same link arrive in send order. *)
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let log = ref [] in
   for i = 1 to 5 do
     Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> log := i :: !log)
@@ -58,7 +60,8 @@ let test_fifo_per_link () =
 
 let test_bigger_messages_slower () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~base_latency_ms:0.1 ~per_kb_ms:1.0 () in
+  let net = Net.of_config ~sim
+      { Net.Config.lan with base_latency_ms = 0.1; per_kb_ms = 1.0 } in
   let log = ref [] in
   Net.send net ~src:0 ~dst:1 ~bytes:4096 (fun () -> log := "big" :: !log);
   Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> log := "small" :: !log);
@@ -68,18 +71,18 @@ let test_bigger_messages_slower () =
 
 let test_profiles () =
   let sim = Sim.create () in
-  let lan = Net.create ~sim () in
-  let wan = Net.create ~sim ~profile:Net.wan () in
+  let lan = Net.of_config ~sim Net.Config.lan in
+  let wan = Net.of_config ~sim Net.Config.wan in
   checkb "wan slower" true
     (Net.latency wan ~src:0 ~dst:1 ~bytes:1024
      > Net.latency lan ~src:0 ~dst:1 ~bytes:1024);
-  let custom = Net.create ~sim ~profile:Net.wan ~base_latency_ms:1.0 () in
+  let custom = Net.of_config ~sim (Net.Config.with_base_latency_ms 1.0 Net.Config.wan) in
   checkb "override wins" true
     (Net.latency custom ~src:0 ~dst:1 ~bytes:0 < 2.0)
 
 let test_drop_pct () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~drop_pct:50 ~seed:3 () in
+  let net = Net.of_config ~sim { Net.Config.lan with drop_pct = 50; seed = 3 } in
   let delivered = ref 0 in
   for _ = 1 to 200 do
     Net.send net ~src:0 ~dst:1 ~bytes:64 ~channel:Net.Unreliable (fun () -> incr delivered)
@@ -91,7 +94,7 @@ let test_drop_pct () =
 
 let test_reliable_exempt_from_loss () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~drop_pct:100 ~seed:3 () in
+  let net = Net.of_config ~sim { Net.Config.lan with drop_pct = 100; seed = 3 } in
   let delivered = ref 0 in
   for _ = 1 to 20 do
     Net.send net ~src:0 ~dst:1 ~bytes:64 (fun () -> incr delivered)
@@ -105,7 +108,7 @@ let test_reliable_exempt_from_loss () =
 
 let test_local_never_dropped () =
   let sim = Sim.create () in
-  let net = Net.create ~sim ~drop_pct:100 ~seed:3 () in
+  let net = Net.of_config ~sim { Net.Config.lan with drop_pct = 100; seed = 3 } in
   let delivered = ref 0 in
   Net.send net ~src:1 ~dst:1 ~bytes:64 ~channel:Net.Unreliable (fun () -> incr delivered);
   Sim.run sim;
@@ -113,8 +116,8 @@ let test_local_never_dropped () =
 
 let test_invalid_drop_pct () =
   let sim = Sim.create () in
-  Alcotest.check_raises "out of range" (Invalid_argument "Net.create: drop_pct")
-    (fun () -> ignore (Net.create ~sim ~drop_pct:101 ()))
+  Alcotest.check_raises "out of range" (Invalid_argument "Net.of_config: drop_pct")
+    (fun () -> ignore (Net.of_config ~sim { Net.Config.lan with drop_pct = 101 }))
 
 let () =
   Alcotest.run "net"

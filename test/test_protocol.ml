@@ -273,7 +273,7 @@ let test_tadom_in_cluster () =
   let module Txn = Dtx_txn.Txn in
   let module Allocation = Dtx_frag.Allocation in
   let sim = Sim.create () in
-  let net = Net.create ~sim () in
+  let net = Net.of_config ~sim Net.Config.lan in
   let d = store () in
   let cluster =
     Cluster.create ~sim ~net ~n_sites:2
