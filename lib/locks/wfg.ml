@@ -2,36 +2,64 @@ module IntSet = Set.Make (Int)
 
 module H = Hashtbl.Make (Int)
 
-type t = { out : IntSet.t H.t }
+(* [inc] is the exact reverse of [out]: [h ∈ out(w)] iff [w ∈ inc(h)]. It
+   exists so [remove_txn] — called for every finished transaction — touches
+   only the removed vertex's neighbours instead of folding over the whole
+   table (which made transaction completion O(live transactions) per site). *)
+type t = {
+  out : IntSet.t H.t;
+  inc : IntSet.t H.t;
+}
 
-let create () = { out = H.create 32 }
+let create () = { out = H.create 32; inc = H.create 32 }
+
+let set_of tbl v =
+  match H.find_opt tbl v with Some s -> s | None -> IntSet.empty
+
+let update tbl v s =
+  if IntSet.is_empty s then H.remove tbl v else H.replace tbl v s
 
 let add_wait t ~waiter ~holders =
-  let cur = match H.find_opt t.out waiter with Some s -> s | None -> IntSet.empty in
+  let cur = set_of t.out waiter in
   let s =
     List.fold_left
-      (fun s h -> if h = waiter then s else IntSet.add h s)
+      (fun s h ->
+        if h = waiter then s
+        else begin
+          if not (IntSet.mem h s) then
+            update t.inc h (IntSet.add waiter (set_of t.inc h));
+          IntSet.add h s
+        end)
       cur holders
   in
-  if IntSet.is_empty s then H.remove t.out waiter else H.replace t.out waiter s
+  update t.out waiter s
 
-let clear_waits_of t txn = H.remove t.out txn
+let clear_waits_of t txn =
+  match H.find_opt t.out txn with
+  | None -> ()
+  | Some s ->
+    H.remove t.out txn;
+    IntSet.iter
+      (fun h -> update t.inc h (IntSet.remove txn (set_of t.inc h)))
+      s
 
 let remove_txn t txn =
-  H.remove t.out txn;
-  let to_update =
-    H.fold
-      (fun w s acc -> if IntSet.mem txn s then (w, s) :: acc else acc)
-      t.out []
-  in
-  List.iter
-    (fun (w, s) ->
-      let s' = IntSet.remove txn s in
-      if IntSet.is_empty s' then H.remove t.out w else H.replace t.out w s')
-    to_update
+  clear_waits_of t txn;
+  match H.find_opt t.inc txn with
+  | None -> ()
+  | Some waiters ->
+    H.remove t.inc txn;
+    IntSet.iter
+      (fun w -> update t.out w (IntSet.remove txn (set_of t.out w)))
+      waiters
 
 let waits_of t txn =
   match H.find_opt t.out txn with
+  | Some s -> IntSet.elements s
+  | None -> []
+
+let waiters_of t txn =
+  match H.find_opt t.inc txn with
   | Some s -> IntSet.elements s
   | None -> []
 
@@ -92,4 +120,6 @@ let size t = H.fold (fun _ s acc -> acc + IntSet.cardinal s) t.out 0
 let pp ppf t =
   List.iter (fun (w, h) -> Format.fprintf ppf "%d -> %d@." w h) (edges t)
 
-let clear t = H.reset t.out
+let clear t =
+  H.reset t.out;
+  H.reset t.inc

@@ -17,10 +17,14 @@ val clear_waits_of : t -> int -> unit
 (** Remove [txn]'s outgoing edges (it stopped waiting). *)
 
 val remove_txn : t -> int -> unit
-(** Remove [txn] and every edge touching it (it committed or aborted). *)
+(** Remove [txn] and every edge touching it (it committed or aborted).
+    O(degree of [txn]) via a reverse-edge index, not O(vertices). *)
 
 val waits_of : t -> int -> int list
 (** Transactions [txn] currently waits for. *)
+
+val waiters_of : t -> int -> int list
+(** Transactions currently waiting for [txn] (the reverse-edge index). *)
 
 val edges : t -> (int * int) list
 (** All (waiter, holder) pairs. *)

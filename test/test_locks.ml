@@ -484,6 +484,58 @@ let test_wfg_union_finds_distributed_cycle () =
   (* Union must not mutate inputs. *)
   check "s1 unchanged" 1 (Wfg.size s1)
 
+let test_wfg_reverse_index () =
+  let g = Wfg.create () in
+  Wfg.add_wait g ~waiter:1 ~holders:[ 3 ];
+  Wfg.add_wait g ~waiter:2 ~holders:[ 3; 4 ];
+  Alcotest.(check (list int)) "waiters of 3" [ 1; 2 ] (Wfg.waiters_of g 3);
+  Alcotest.(check (list int)) "waiters of 4" [ 2 ] (Wfg.waiters_of g 4);
+  Alcotest.(check (list int)) "no waiters of 1" [] (Wfg.waiters_of g 1);
+  (* Duplicate edge additions must not duplicate reverse entries. *)
+  Wfg.add_wait g ~waiter:1 ~holders:[ 3 ];
+  Alcotest.(check (list int)) "still two waiters" [ 1; 2 ] (Wfg.waiters_of g 3);
+  Wfg.clear_waits_of g 1;
+  Alcotest.(check (list int)) "waiter 1 unindexed" [ 2 ] (Wfg.waiters_of g 3);
+  Wfg.remove_txn g 3;
+  Alcotest.(check (list int)) "removed vertex has no waiters" []
+    (Wfg.waiters_of g 3);
+  Alcotest.(check (list (pair int int))) "only 2->4 left" [ (2, 4) ]
+    (Wfg.edges g)
+
+(* Regression for the O(V) remove_txn fold: the reverse index must stay an
+   exact mirror of the forward edges under arbitrary churn, and removing
+   every transaction must leave both directions empty. *)
+let prop_reverse_index_mirrors_edges =
+  QCheck.Test.make ~name:"reverse index mirrors forward edges under churn"
+    ~count:300
+    QCheck.(
+      list_of_size Gen.(1 -- 40)
+        (triple (int_range 0 3) (int_range 0 8)
+           (list_of_size Gen.(0 -- 3) (int_range 0 8))))
+    (fun cmds ->
+      let g = Wfg.create () in
+      List.iter
+        (fun (sel, v, hs) ->
+          match sel with
+          | 0 | 1 -> Wfg.add_wait g ~waiter:v ~holders:hs
+          | 2 -> Wfg.clear_waits_of g v
+          | _ -> Wfg.remove_txn g v)
+        cmds;
+      let mirror_ok =
+        List.for_all
+          (fun (w, h) -> List.mem w (Wfg.waiters_of g h))
+          (Wfg.edges g)
+        && List.for_all
+             (fun v ->
+               List.for_all
+                 (fun w -> List.mem v (Wfg.waits_of g w))
+                 (Wfg.waiters_of g v))
+             (Wfg.txns g)
+      in
+      List.iter (fun v -> Wfg.remove_txn g v) (Wfg.txns g);
+      mirror_ok && Wfg.size g = 0 && Wfg.edges g = []
+      && List.for_all (fun v -> Wfg.waiters_of g v = []) (List.init 9 Fun.id))
+
 let test_wfg_copy_independent () =
   let g = Wfg.create () in
   Wfg.add_wait g ~waiter:1 ~holders:[ 2 ];
@@ -581,5 +633,7 @@ let () =
           Alcotest.test_case "union distributed cycle" `Quick
             test_wfg_union_finds_distributed_cycle;
           Alcotest.test_case "copy independent" `Quick test_wfg_copy_independent;
+          Alcotest.test_case "reverse index" `Quick test_wfg_reverse_index;
+          QCheck_alcotest.to_alcotest prop_reverse_index_mirrors_edges;
           QCheck_alcotest.to_alcotest prop_cycle_detection_matches_oracle;
           QCheck_alcotest.to_alcotest prop_cycle_members_form_cycle ] ) ]
