@@ -6,12 +6,21 @@ module H = Hashtbl.Make (Int)
    exists so [remove_txn] — called for every finished transaction — touches
    only the removed vertex's neighbours instead of folding over the whole
    table (which made transaction completion O(live transactions) per site). *)
+(* Incremental cycle detection. [acyclic = true] means the graph minus the
+   out-edges added from [dirty] vertices has been proven cycle-free (edge
+   removals preserve that proof). A new cycle must contain a new edge, so it
+   passes through a dirty vertex and is reachable from it — [find_cycle] only
+   needs to search from [dirty]. When [acyclic = false] (the last search found
+   a cycle) nothing is tracked and the next search is exhaustive. *)
 type t = {
   out : IntSet.t H.t;
   inc : IntSet.t H.t;
+  dirty : unit H.t;
+  mutable acyclic : bool;
 }
 
-let create () = { out = H.create 32; inc = H.create 32 }
+let create () =
+  { out = H.create 32; inc = H.create 32; dirty = H.create 8; acyclic = true }
 
 let set_of tbl v =
   match H.find_opt tbl v with Some s -> s | None -> IntSet.empty
@@ -32,6 +41,7 @@ let add_wait t ~waiter ~holders =
         end)
       cur holders
   in
+  if t.acyclic && not (s == cur) then H.replace t.dirty waiter ();
   update t.out waiter s
 
 let clear_waits_of t txn =
@@ -75,9 +85,9 @@ let txns t =
   in
   IntSet.elements set
 
-let find_cycle t =
-  (* Iterative DFS with a colour map; visits vertices in sorted order so the
-     answer is deterministic. *)
+let dfs_cycle t starts =
+  (* DFS with a colour map from [starts] (already sorted); deterministic for
+     a given graph content and start list. *)
   let color = H.create 32 in
   (* 0 = white (absent), 1 = grey (on stack), 2 = black *)
   let result = ref None in
@@ -99,9 +109,53 @@ let find_cycle t =
       List.iter (fun s -> if !result = None then dfs (txn :: path) s) succs;
       H.replace color txn 2
   in
-  let starts = List.sort compare (H.fold (fun w _ acc -> w :: acc) t.out []) in
   List.iter (fun v -> if !result = None then dfs [] v) starts;
   !result
+
+let find_cycle_exhaustive t =
+  let starts = List.sort compare (H.fold (fun w _ acc -> w :: acc) t.out []) in
+  dfs_cycle t starts
+
+let find_cycle t =
+  if t.acyclic then begin
+    if H.length t.dirty = 0 then None
+    else if H.length t.dirty >= H.length t.out then begin
+      (* Everything changed since the last proof — the incremental pre-pass
+         would visit the whole graph anyway, so go straight to exhaustive. *)
+      match find_cycle_exhaustive t with
+      | None ->
+        H.reset t.dirty;
+        None
+      | Some _ as c ->
+        t.acyclic <- false;
+        H.reset t.dirty;
+        c
+    end
+    else begin
+      let starts =
+        List.sort compare (H.fold (fun v () acc -> v :: acc) t.dirty [])
+      in
+      match dfs_cycle t starts with
+      | None ->
+        (* Still acyclic: the proof is fresh again. *)
+        H.reset t.dirty;
+        None
+      | Some _ ->
+        (* A cycle exists. Re-run the exhaustive search so the reported cycle
+           is the same canonical one the full DFS would pick — callers choose
+           deadlock victims from it, so this keeps traces byte-identical. *)
+        t.acyclic <- false;
+        H.reset t.dirty;
+        find_cycle_exhaustive t
+    end
+  end
+  else
+    match find_cycle_exhaustive t with
+    | None ->
+      t.acyclic <- true;
+      H.reset t.dirty;
+      None
+    | Some _ as c -> c
 
 let union graphs =
   let t = create () in
@@ -122,4 +176,6 @@ let pp ppf t =
 
 let clear t =
   H.reset t.out;
-  H.reset t.inc
+  H.reset t.inc;
+  H.reset t.dirty;
+  t.acyclic <- true

@@ -593,6 +593,27 @@ let prop_cycle_members_form_cycle =
                List.mem b (Wfg.waits_of g a))
              (List.init n (fun i -> i)))
 
+(* Incremental cycle detection must be indistinguishable from the exhaustive
+   search under arbitrary churn, including interleaved queries (which is what
+   drives the acyclic/dirty state machine through all its transitions). *)
+let prop_incremental_cycle_matches_exhaustive =
+  QCheck.Test.make
+    ~name:"incremental find_cycle = exhaustive under edge churn" ~count:300
+    QCheck.(
+      list_of_size Gen.(1 -- 40)
+        (triple (int_range 0 5) (int_range 0 8)
+           (list_of_size Gen.(0 -- 3) (int_range 0 8))))
+    (fun cmds ->
+      let g = Wfg.create () in
+      List.for_all
+        (fun (sel, v, hs) ->
+          (match sel with
+          | 0 | 1 | 2 -> Wfg.add_wait g ~waiter:v ~holders:hs
+          | 3 -> Wfg.clear_waits_of g v
+          | _ -> Wfg.remove_txn g v);
+          Wfg.find_cycle g = Wfg.find_cycle_exhaustive g)
+        cmds)
+
 let () =
   Alcotest.run "locks"
     [ ( "modes",
@@ -635,5 +656,6 @@ let () =
           Alcotest.test_case "copy independent" `Quick test_wfg_copy_independent;
           Alcotest.test_case "reverse index" `Quick test_wfg_reverse_index;
           QCheck_alcotest.to_alcotest prop_reverse_index_mirrors_edges;
+          QCheck_alcotest.to_alcotest prop_incremental_cycle_matches_exhaustive;
           QCheck_alcotest.to_alcotest prop_cycle_detection_matches_oracle;
           QCheck_alcotest.to_alcotest prop_cycle_members_form_cycle ] ) ]
