@@ -1,18 +1,19 @@
 module Intern = Dtx_util.Intern
 
-(* A resource is a packed int: | doc_id:7 | value_id:24 | node:28 |, 59 bits.
+(* A resource is a packed int: | doc_id:11 | value_id:20 | node:28 |, 59 bits.
    value_id 0 means "no value dimension"; interned value ids are stored
    shifted by one. Packing keeps 3 low bits spare so a (resource, mode) pair
    also fits one int (see [request_key]) and request lists dedupe with a
    plain integer sort. Doc names and lock values are process-global interned
    symbols: every table in a simulated cluster shares the same bijection,
    which costs nothing and keeps resources directly comparable across
-   sites. *)
+   sites. 11 doc bits allow the 1000+ fragment documents a thousand-site
+   scale run creates (7 bits capped runs at 128 sites). *)
 type resource = int
 
 let node_bits = 28
-let value_bits = 24
-let doc_bits = 7
+let value_bits = 20
+let doc_bits = 11
 let node_limit = 1 lsl node_bits
 let value_limit = (1 lsl value_bits) - 1
 let doc_limit = 1 lsl doc_bits
@@ -121,24 +122,100 @@ let pp_event ppf = function
       (match kind with Undo -> "undo" | End_of_txn -> "end")
   | Cleared -> Format.fprintf ppf "lock table cleared"
 
+(* The entry map is sharded by a (doc, DataGuide-subtree) bucket computed
+   from the packed resource with one xor and one mask: doc id xor node>>4.
+   Nodes numbered in DataGuide/document order land siblings in the same
+   16-node window, so a transaction's lock batch (target + ancestors) touches
+   few shards while distinct documents spread across all of them. Each shard
+   keeps [smask], the exact union of the mode bits of every holder it
+   contains (maintained by per-mode holder counts), so a whole batch of
+   compatible requests can skip the per-entry probes in the conflict pass.
+   [by_txn], [grants] and the tracer stay table-global, which keeps
+   [release_txn] iteration order — and therefore every traced event — the
+   same as the unsharded table's. *)
+
+let default_shard_count = 64
+
+let shard_count =
+  match Sys.getenv_opt "DTX_LOCK_SHARDS" with
+  | None -> default_shard_count
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 && n <= 4096 && n land (n - 1) = 0 -> n
+    | _ ->
+      invalid_arg "DTX_LOCK_SHARDS must be a power of two between 1 and 4096")
+
+let shard_mask = shard_count - 1
+
+let shard_of r =
+  ((r lsr (node_bits + value_bits)) lxor (r lsr 4)) land shard_mask
+
+type shard = {
+  entries : entry Itbl.t;
+  mode_counts : int array;  (* holder records per mode index *)
+  mutable smask : int;  (* union of mode bits held anywhere in the shard *)
+}
+
+(* Shards materialize on first grant; until then every slot aliases this
+   never-mutated empty shard, so [create] is one [Array.make] instead of 64
+   hashtable allocations (tables are created per site, and short-lived ones
+   are common in tests and DPOR replays). Read paths may see the dummy —
+   its [entries] is empty and [smask] is 0, which answer correctly. *)
+let dummy_shard = { entries = Itbl.create 1; mode_counts = [||]; smask = 0 }
+
 type t = {
-  table : entry Itbl.t;
+  shards : shard array;
   by_txn : unit Itbl.t Itbl.t;  (* txn -> set of its resources *)
   mutable grants : int;
   mutable tracer : (event -> unit) option;
 }
 
 let create () =
-  { table = Itbl.create 256; by_txn = Itbl.create 64; grants = 0; tracer = None }
+  { shards = Array.make shard_count dummy_shard;
+    by_txn = Itbl.create 64;
+    grants = 0;
+    tracer = None }
 
 let set_tracer t tr = t.tracer <- tr
 
-let entry t r =
-  match Itbl.find_opt t.table r with
+let shard t r = t.shards.(shard_of r)
+
+(* Only the grant path needs a real shard; everything else treats the dummy
+   as the empty shard it is. *)
+let materialize t r =
+  let i = shard_of r in
+  let sh = t.shards.(i) in
+  if sh != dummy_shard then sh
+  else begin
+    let sh =
+      { entries = Itbl.create 16;
+        mode_counts = Array.make (List.length Mode.all) 0;
+        smask = 0 }
+    in
+    t.shards.(i) <- sh;
+    sh
+  end
+
+(* Exact [smask] maintenance: a mode bit is set iff some holder record with
+   that mode lives in the shard. Refcount bumps don't change the counts. *)
+let shard_add_holder sh (mode : Mode.t) =
+  let i = Mode.index mode in
+  let c = sh.mode_counts.(i) in
+  sh.mode_counts.(i) <- c + 1;
+  if c = 0 then sh.smask <- sh.smask lor Mode.bit mode
+
+let shard_remove_holder sh (mode : Mode.t) =
+  let i = Mode.index mode in
+  let c = sh.mode_counts.(i) - 1 in
+  sh.mode_counts.(i) <- c;
+  if c = 0 then sh.smask <- sh.smask land lnot (Mode.bit mode)
+
+let entry sh r =
+  match Itbl.find_opt sh.entries r with
   | Some e -> e
   | None ->
     let e = { holders = []; mask = 0 } in
-    Itbl.replace t.table r e;
+    Itbl.replace sh.entries r e;
     e
 
 let recompute_mask e =
@@ -159,7 +236,8 @@ let rec find_holder holders txn (mode : Mode.t) =
     if h.txn = txn && h.mode = mode then Some h else find_holder rest txn mode
 
 let ungrant t ~txn r mode =
-  match Itbl.find_opt t.table r with
+  let sh = shard t r in
+  match Itbl.find_opt sh.entries r with
   | None -> ()
   | Some e -> (
     match find_holder e.holders txn mode with
@@ -173,7 +251,8 @@ let ungrant t ~txn r mode =
        | None -> ());
       if h.count = 0 then begin
         e.holders <- List.filter (fun h' -> not (h' == h)) e.holders;
-        if e.holders = [] then Itbl.remove t.table r else recompute_mask e;
+        shard_remove_holder sh mode;
+        if e.holders = [] then Itbl.remove sh.entries r else recompute_mask e;
         (* Keep the per-transaction resource set exact: once the last of the
            transaction's holds on [r] is undone, [r] must leave its set, so
            a later [release_txn] never touches entries the transaction no
@@ -189,34 +268,41 @@ let ungrant t ~txn r mode =
 let sort_uniq_ints l = List.sort_uniq compare l
 
 let acquire_all t ~txn requests =
-  (* First pass: collect every conflicting transaction without mutating. The
-     mask fast path makes the no-conflict case two hashtable probes per
-     request (entry here, holder update below) and no allocation. *)
+  (* First pass: collect every conflicting transaction without mutating.
+     Requests route to their shard with one xor+mask; when the request mode
+     is compatible with the shard's whole-shard mask no entry in the shard
+     can conflict, so the common uncontended case never even probes the
+     entry map. Otherwise the per-entry mask keeps the old fast path. *)
   let conflicting = ref [] in
   List.iter
     (fun (r, mode) ->
-      match Itbl.find_opt t.table r with
-      | None -> ()
-      | Some e ->
-        if not (Mode.mask_compatible mode ~held_mask:e.mask) then
-          List.iter
-            (fun h ->
-              if h.txn <> txn && not (Mode.compatible h.mode mode) then
-                conflicting := h.txn :: !conflicting)
-            e.holders)
+      let sh = shard t r in
+      if not (Mode.mask_compatible mode ~held_mask:sh.smask) then
+        match Itbl.find_opt sh.entries r with
+        | None -> ()
+        | Some e ->
+          if not (Mode.mask_compatible mode ~held_mask:e.mask) then
+            List.iter
+              (fun h ->
+                if h.txn <> txn && not (Mode.compatible h.mode mode) then
+                  conflicting := h.txn :: !conflicting)
+              e.holders)
     requests;
   match sort_uniq_ints !conflicting with
   | [] ->
     (* Grant pass: all requests share [txn], so resolve its resource set
-       once instead of per grant. *)
+       once instead of per grant. Iteration stays in request order (not
+       shard order) so traced Acquired events are unchanged. *)
     let set = txn_set t txn in
     let grant (r, mode) =
-      let e = entry t r in
+      let sh = materialize t r in
+      let e = entry sh r in
       (match find_holder e.holders txn mode with
        | Some h -> h.count <- h.count + 1
        | None ->
          e.holders <- { txn; mode; count = 1 } :: e.holders;
-         e.mask <- e.mask lor Mode.bit mode);
+         e.mask <- e.mask lor Mode.bit mode;
+         shard_add_holder sh mode);
       t.grants <- t.grants + 1;
       Itbl.replace set r ()
     in
@@ -241,7 +327,8 @@ let release_txn t ~txn =
     let freed = ref [] in
     Itbl.iter
       (fun r () ->
-        match Itbl.find_opt t.table r with
+        let sh = shard t r in
+        match Itbl.find_opt sh.entries r with
         | None -> ()
         | Some e ->
           let mine, others = List.partition (fun h -> h.txn = txn) e.holders in
@@ -249,6 +336,7 @@ let release_txn t ~txn =
             List.iter
               (fun h ->
                 t.grants <- t.grants - h.count;
+                shard_remove_holder sh h.mode;
                 match t.tracer with
                 | Some tr ->
                   tr
@@ -258,7 +346,7 @@ let release_txn t ~txn =
                 | None -> ())
               mine;
             freed := r :: !freed;
-            if others = [] then Itbl.remove t.table r
+            if others = [] then Itbl.remove sh.entries r
             else begin
               e.holders <- others;
               recompute_mask e
@@ -269,7 +357,7 @@ let release_txn t ~txn =
     !freed
 
 let holders t r =
-  match Itbl.find_opt t.table r with
+  match Itbl.find_opt (shard t r).entries r with
   | None -> []
   | Some e -> List.map (fun h -> (h.txn, h.mode)) e.holders
 
@@ -279,7 +367,7 @@ let locks_of t ~txn =
   | Some set ->
     Itbl.fold
       (fun r () acc ->
-        match Itbl.find_opt t.table r with
+        match Itbl.find_opt (shard t r).entries r with
         | None -> acc
         | Some e ->
           List.fold_left
@@ -290,13 +378,20 @@ let locks_of t ~txn =
 let lock_count t = t.grants
 
 let txn_holds t ~txn r mode =
-  match Itbl.find_opt t.table r with
+  match Itbl.find_opt (shard t r).entries r with
   | None -> false
   | Some e ->
     List.exists (fun h -> h.txn = txn && h.mode = mode && h.count > 0) e.holders
 
 let clear t =
-  Itbl.reset t.table;
+  Array.iter
+    (fun sh ->
+      if sh != dummy_shard then begin
+        Itbl.reset sh.entries;
+        Array.fill sh.mode_counts 0 (Array.length sh.mode_counts) 0;
+        sh.smask <- 0
+      end)
+    t.shards;
   Itbl.reset t.by_txn;
   t.grants <- 0;
   match t.tracer with Some tr -> tr Cleared | None -> ()

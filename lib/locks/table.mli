@@ -29,7 +29,7 @@ type resource
 
 val resource : string -> int -> resource
 (** Plain structural resource (no value dimension). Node ids must fit 28
-    bits; at most 128 distinct document names and 2^24-1 distinct lock
+    bits; at most 2048 distinct document names and 2^20-1 distinct lock
     values may be interned per process. @raise Invalid_argument beyond. *)
 
 val value_resource : string -> int -> string -> resource
@@ -43,6 +43,16 @@ val resource_value : resource -> string option
 val compare_resource : resource -> resource -> int
 
 val pp_resource : Format.formatter -> resource -> unit
+
+val shard_count : int
+(** Number of internal lock shards, a power of two. Defaults to 64;
+    overridable via the [DTX_LOCK_SHARDS] environment variable (set it to 1
+    for the unsharded ablation). Sharding is invisible in the API — it only
+    changes which entry map a resource lives in. *)
+
+val shard_of : resource -> int
+(** The (doc, DataGuide-subtree) bucket a resource routes to:
+    [doc_id xor (node >> 4)], masked to [shard_count]. Exposed for tests. *)
 
 val dedup_requests : (resource * Mode.t) list -> (resource * Mode.t) list
 (** Sort and deduplicate a request list via single-int (resource, mode) keys
