@@ -6,7 +6,14 @@
     (FIFO) order, which — together with the seeded {!Dtx_util.Rng} — makes
     every experiment bit-for-bit reproducible.
 
-    Time is a [float] in {e simulated milliseconds}. *)
+    Time is a [float] in {e simulated milliseconds}.
+
+    The dispatch queue is a calendar queue ({!Dtx_util.Calqueue}) with O(1)
+    expected operations; both it and the legacy binary heap (selectable
+    with [DTX_SIM_QUEUE=heap], read at {!create}) dispatch in the same
+    (time, seq) total order, so the backend choice cannot change a trace.
+    Setting [DTX_SIM_DEBUG=1] enables queue/live-table consistency
+    assertions after each cancelled-entry compaction. *)
 
 type t
 
@@ -35,8 +42,12 @@ val cancel : t -> event_id -> unit
 val cancelled_backlog : t -> int
 (** Number of still-queued events marked cancelled — bookkeeping the
     simulator currently retains for cancellations. Drops back to zero once
-    those events' times pass; cancels aimed at fired or unknown ids never
-    contribute. Exposed for leak regression tests. *)
+    those events' times pass, or earlier when compaction kicks in: once at
+    least 64 cancellations are pending {e and} they outnumber half the
+    queued events, the queue is rebuilt without them in one pass, so the
+    backlog can never grow unboundedly ahead of the clock. Cancels aimed at
+    fired or unknown ids never contribute. Exposed for leak regression
+    tests. *)
 
 val every : t -> period:float -> ?start:float -> (unit -> bool) -> unit
 (** [every sim ~period f] runs [f] at [start] (default [period]) and then

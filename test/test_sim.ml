@@ -93,6 +93,66 @@ let test_cancel_no_leak () =
   Sim.run sim;
   check "backlog drained with the queue" 0 (Sim.cancelled_backlog sim)
 
+let test_compaction () =
+  (* Mass cancellation must not leave garbage parked until the clock catches
+     up: once >= 64 cancellations are pending and they outnumber half the
+     queue, the queue is rebuilt without them. *)
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let ids =
+    List.init 200 (fun i ->
+        Sim.schedule sim ~delay:(float_of_int (i + 1)) (fun () -> incr fired))
+  in
+  List.iteri (fun i id -> if i < 150 then Sim.cancel sim id) ids;
+  (* The 101st cancel trips 2*101 > 200 and compacts to zero backlog; the
+     trailing 49 sit below the 64-cancellation floor. *)
+  checkb "compaction ran" true (Sim.cancelled_backlog sim < 64);
+  check "leftover below floor" 49 (Sim.cancelled_backlog sim);
+  check "live events remain" 99 (Sim.pending sim);
+  Sim.run sim;
+  check "only uncancelled fired" 50 !fired;
+  check "backlog drained" 0 (Sim.cancelled_backlog sim);
+  check "queue empty" 0 (Sim.pending sim)
+
+(* Identical schedule/cancel scripts must fire identically on the calendar
+   queue and the legacy heap (DTX_SIM_QUEUE=heap) — the in-process version
+   of the byte-identical ablation gate. *)
+let prop_backends_agree =
+  QCheck.Test.make ~name:"calendar and heap backends fire identically"
+    ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 60) (float_bound_exclusive 50.0))
+        (small_nat))
+    (fun (delays, cancel_every) ->
+      let trace backend =
+        Unix.putenv "DTX_SIM_QUEUE" backend;
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv "DTX_SIM_QUEUE" "calendar")
+          (fun () ->
+            let sim = Sim.create () in
+            let log = ref [] in
+            let ids =
+              List.mapi
+                (fun i d ->
+                  Sim.schedule sim ~delay:d (fun () ->
+                      log := (i, Sim.now sim) :: !log;
+                      if i mod 7 = 0 then
+                        ignore
+                          (Sim.schedule sim ~delay:1.0 (fun () ->
+                               log := (1000 + i, Sim.now sim) :: !log))))
+                delays
+            in
+            List.iteri
+              (fun i id ->
+                if cancel_every > 0 && i mod (cancel_every + 1) = 0 then
+                  Sim.cancel sim id)
+              ids;
+            Sim.run sim;
+            !log)
+      in
+      trace "calendar" = trace "heap")
+
 let test_run_until () =
   let sim = Sim.create () in
   let count = ref 0 in
@@ -166,10 +226,13 @@ let () =
           Alcotest.test_case "schedule_at clamps" `Quick test_schedule_at_past_clamps;
           Alcotest.test_case "cancel" `Quick test_cancel;
           Alcotest.test_case "cancel leaks nothing" `Quick test_cancel_no_leak;
+          Alcotest.test_case "mass-cancel compaction" `Quick test_compaction;
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "max events" `Quick test_max_events;
           Alcotest.test_case "step" `Quick test_step ] );
       ( "periodic",
         [ Alcotest.test_case "every" `Quick test_every;
           Alcotest.test_case "every with start" `Quick test_every_start_offset ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_deterministic ]) ]
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_deterministic;
+          QCheck_alcotest.to_alcotest prop_backends_agree ] ) ]

@@ -95,6 +95,71 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare xs)
 
+(* --- Calqueue ------------------------------------------------------------ *)
+
+module Calqueue = Dtx_util.Calqueue
+
+let cq_create () = Calqueue.create ~time:fst ~seq:snd ()
+
+let test_calqueue_ordering () =
+  let q = cq_create () in
+  List.iteri (fun i t -> Calqueue.push q (t, i)) [ 5.0; 1.0; 4.0; 1.0; 3.0 ];
+  let rec drain acc =
+    match Calqueue.pop q with Some x -> drain (x :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "(time, seq) order incl. FIFO tie"
+    [ (1.0, 1); (1.0, 3); (3.0, 4); (4.0, 2); (5.0, 0) ]
+    (drain [])
+
+let test_calqueue_peek_filter () =
+  let q = cq_create () in
+  for i = 0 to 99 do
+    Calqueue.push q (float_of_int (i mod 10), i)
+  done;
+  check "length" 100 (Calqueue.length q);
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "peek min" (Some (0.0, 0)) (Calqueue.peek q);
+  check "peek does not pop" 100 (Calqueue.length q);
+  Calqueue.filter_in_place (fun (_, s) -> s mod 2 = 0) q;
+  check "filtered" 50 (Calqueue.length q);
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "min survives filter" (Some (0.0, 0)) (Calqueue.peek q);
+  Calqueue.clear q;
+  check "cleared" 0 (Calqueue.length q);
+  Alcotest.(check bool) "empty" true (Calqueue.is_empty q)
+
+(* The property that lets the simulator swap queues without a trace diff:
+   any interleaving of pushes and pops drains in exactly the heap's
+   (time, seq) order — including sparse far-future times that force the
+   calendar's direct-search jump, and resize churn both ways. *)
+let prop_calqueue_matches_heap =
+  QCheck.Test.make ~name:"calendar queue = binary heap dispatch order"
+    ~count:300
+    QCheck.(
+      list_of_size Gen.(1 -- 120)
+        (pair (oneofl [ 0.0; 0.5; 1.0; 3.0; 1e3; 1e7 ]) (float_bound_exclusive 50.0)))
+    (fun ops ->
+      let cmp (t1, s1) (t2, s2) =
+        let c = compare (t1 : float) t2 in
+        if c <> 0 then c else compare (s1 : int) s2
+      in
+      let q = cq_create () and h = Heap.create ~cmp in
+      let ok = ref true in
+      List.iteri
+        (fun i (base, jitter) ->
+          Calqueue.push q (base +. jitter, i);
+          Heap.push h (base +. jitter, i);
+          (* pop a third of the time, interleaved with pushes *)
+          if i mod 3 = 0 then ok := !ok && Calqueue.pop q = Heap.pop h)
+        ops;
+      let rec drain () =
+        match (Calqueue.pop q, Heap.pop h) with
+        | None, None -> true
+        | a, b -> a = b && drain ()
+      in
+      !ok && drain ())
+
 (* --- Rng ---------------------------------------------------------------- *)
 
 let test_rng_deterministic () =
@@ -227,6 +292,10 @@ let () =
         [ Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "peek" `Quick test_heap_peek;
           QCheck_alcotest.to_alcotest prop_heap_sorts ] );
+      ( "calqueue",
+        [ Alcotest.test_case "ordering" `Quick test_calqueue_ordering;
+          Alcotest.test_case "peek/filter/clear" `Quick test_calqueue_peek_filter;
+          QCheck_alcotest.to_alcotest prop_calqueue_matches_heap ] );
       ( "rng",
         [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "ranges" `Quick test_rng_ranges;
