@@ -2,11 +2,13 @@
 # (ocamlformat is not pinned in this environment, so formatting is not
 # part of the gate; add it here if/when the binary is available.)
 
-.PHONY: check build test bench bench-smoke bench-json analyze analyze-smoke \
+.PHONY: check build test bench bench-smoke bench-json bench-scale \
+	bench-scale-smoke ablation-identical analyze analyze-smoke \
 	analyze-mutations chaos chaos-smoke explore explore-smoke \
 	explore-mutations clean
 
-check: build test bench-smoke analyze-smoke chaos-smoke explore-smoke
+check: build test bench-smoke bench-scale-smoke analyze-smoke chaos-smoke \
+	explore-smoke ablation-identical
 
 build:
 	dune build
@@ -25,6 +27,30 @@ bench-smoke:
 # Machine-readable perf snapshot (micro ns/run + fig9-quick workload numbers).
 bench-json:
 	dune exec bench/main.exe -- json
+
+# Extreme-scale client sweep (1000 sites, up to 10k clients) — writes
+# BENCH_scale.json.
+bench-scale:
+	dune exec bench/main.exe -- scale
+
+# Reduced sweep that writes nothing — part of `make check`.
+bench-scale-smoke:
+	dune exec bench/main.exe -- scale smoke
+
+# Byte-identical ablation gate: the legacy binary-heap simulator queue and
+# an unsharded (single-shard) lock table must reproduce the default
+# configuration's chaos and explore output exactly — the backends are
+# interchangeable implementations of one (time, seq) / one lock-table
+# semantics, so any divergence is a bug.
+ablation-identical:
+	dune exec bin/dtx_cli.exe -- chaos --smoke > _build/ablation_default.out
+	DTX_SIM_QUEUE=heap DTX_LOCK_SHARDS=1 dune exec bin/dtx_cli.exe -- \
+	  chaos --smoke > _build/ablation_legacy.out
+	cmp _build/ablation_default.out _build/ablation_legacy.out
+	dune exec bin/dtx_cli.exe -- explore --scenario ref > _build/ablation_default.out
+	DTX_SIM_QUEUE=heap DTX_LOCK_SHARDS=1 dune exec bin/dtx_cli.exe -- \
+	  explore --scenario ref > _build/ablation_legacy.out
+	cmp _build/ablation_default.out _build/ablation_legacy.out
 
 # Invariant analyzer (Dtx_check): seeded workloads under every protocol with
 # the serializability / S2PL / FSM / deadlock checker attached. Exits

@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- micro        # Bechamel microbenchmarks
      dune exec bench/main.exe -- micro smoke  # same, tiny quota (make check)
      dune exec bench/main.exe -- json         # write BENCH_pr2.json
+     dune exec bench/main.exe -- scale        # 1000-site client sweep, write BENCH_scale.json
+     dune exec bench/main.exe -- scale smoke  # tiny sweep, no file (make check)
      dune exec bench/main.exe -- ablation     # design-choice ablations
      dune exec bench/main.exe -- fig9 export  # also write results/<fig>.csv *)
 
@@ -186,7 +188,7 @@ let bench_json ~out () =
               (json_escape (Protocol.kind_to_string kind))
               n_clients r.Workload.committed throughput
               r.Workload.response.Dtx_util.Stats.mean r.Workload.deadlocks)
-          [ 8; 12 ])
+          [ 8; 12; 24; 48 ])
       [ Protocol.Xdgl; Protocol.Node2pl ]
   in
   let micro_rows =
@@ -204,6 +206,65 @@ let bench_json ~out () =
     (String.concat ",\n" fig9_rows);
   close_out oc;
   Format.fprintf ppf "[wrote %s]@." out
+
+(* --- Scale sweep (BENCH_scale.json) ------------------------------------- *)
+
+(* Throughput/latency curve on the extreme-scale configuration (1000 sites,
+   up to 10k clients, one transaction each). One shared database backs the
+   whole sweep — generation and fragmentation are identical across the
+   points, only the client population varies. [smoke] shrinks the sweep to
+   a make-check-sized run and writes nothing. *)
+let scale_bench ~smoke ~out () =
+  let sites = if smoke then 100 else 1000 in
+  let sweep = if smoke then [ 50; 200 ] else [ 100; 1000; 4000; 10000 ] in
+  let base =
+    { Workload.default_params with
+      n_sites = sites;
+      txns_per_client = 1;
+      ops_per_txn = 3;
+      base_size_mb = 10.0;
+      replication = Allocation.Partial { copies = 1 } }
+  in
+  let database = Workload.build_database base in
+  Format.fprintf ppf "== Scale sweep: %d sites, %d-point client curve ==@."
+    sites (List.length sweep);
+  Format.fprintf ppf "%-10s %-11s %-16s %-10s %-10s %-10s@." "clients"
+    "committed" "throughput(t/s)" "mean(ms)" "p95(ms)" "wall(s)";
+  let rows =
+    List.map
+      (fun n_clients ->
+        let t0 = Unix.gettimeofday () in
+        let r = Workload.run ~database { base with n_clients } in
+        let wall = Unix.gettimeofday () -. t0 in
+        let throughput =
+          if r.Workload.makespan_ms > 0.0 then
+            float_of_int r.Workload.committed /. r.Workload.makespan_ms
+            *. 1000.0
+          else 0.0
+        in
+        Format.fprintf ppf "%-10d %-11d %-16.0f %-10.2f %-10.2f %-10.2f@."
+          n_clients r.Workload.committed throughput
+          r.Workload.response.Dtx_util.Stats.mean
+          r.Workload.response.Dtx_util.Stats.p95 wall;
+        Printf.sprintf
+          "    {\"clients\": %d, \"sites\": %d, \"committed\": %d, \
+           \"aborted\": %d, \"deadlocks\": %d, \
+           \"throughput_txn_per_s\": %.3f, \"mean_latency_ms\": %.3f, \
+           \"p95_latency_ms\": %.3f, \"makespan_ms\": %.3f, \
+           \"wall_clock_s\": %.3f}"
+          n_clients sites r.Workload.committed r.Workload.aborted
+          r.Workload.deadlocks throughput
+          r.Workload.response.Dtx_util.Stats.mean
+          r.Workload.response.Dtx_util.Stats.p95 r.Workload.makespan_ms wall)
+      sweep
+  in
+  if not smoke then begin
+    let oc = open_out out in
+    Printf.fprintf oc "{\n  \"scale_sweep\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" rows);
+    close_out oc;
+    Format.fprintf ppf "[wrote %s]@." out
+  end
 
 (* --- Ablations ---------------------------------------------------------- *)
 
@@ -321,7 +382,7 @@ let () =
     List.filter
       (fun a ->
         a <> "quick" && a <> "summary" && a <> "micro" && a <> "ablation"
-        && a <> "export" && a <> "smoke" && a <> "json")
+        && a <> "export" && a <> "smoke" && a <> "json" && a <> "scale")
       args
   in
   let t0 = Unix.gettimeofday () in
@@ -329,7 +390,8 @@ let () =
     figure_args = []
     && not
          (List.mem "summary" args || List.mem "micro" args
-          || List.mem "ablation" args || List.mem "json" args)
+          || List.mem "ablation" args || List.mem "json" args
+          || List.mem "scale" args)
   then begin
     (* Default: everything the paper reports. *)
     print_figures (Experiments.all ~quick ());
@@ -341,6 +403,8 @@ let () =
     if List.mem "summary" args then summary ~quick;
     if List.mem "micro" args then microbenches ~smoke;
     if List.mem "json" args then bench_json ~out:"BENCH_pr2.json" ();
+    if List.mem "scale" args then
+      scale_bench ~smoke ~out:"BENCH_scale.json" ();
     if List.mem "ablation" args then ablation ()
   end;
   Format.fprintf ppf "@.[bench completed in %.1f s]@." (Unix.gettimeofday () -. t0)

@@ -73,10 +73,24 @@ type result = {
       (** total lock-structure size across sites (DataGuide vs document) *)
 }
 
-val run : ?instrument:(Dtx.Cluster.t -> unit) -> params -> result
-(** Deterministic for a given [params]. [instrument] runs on the freshly
-    built cluster before any transaction is submitted — the hook the
-    [Dtx_check] analyzer (and the history-based tests) attach through. *)
+type database
+(** A generated, fragmented XMark base — the expensive pure prefix of a
+    {!run}. Deterministic in (seed, base size, fragment count); fragments
+    are cloned into sites, so one database can back any number of runs. *)
+
+val build_database : params -> database
+(** Generate and fragment the base for [params] (only [seed],
+    [base_size_mb] and the fragment count are read). Build once, then pass
+    to every {!run} of a sweep that varies clients, protocol or topology —
+    at 1000 sites the fragmentation is the dominant setup cost. *)
+
+val run :
+  ?instrument:(Dtx.Cluster.t -> unit) -> ?database:database -> params -> result
+(** Deterministic for a given [params] — with or without a shared
+    [database], which is checked against [params] and rejected on mismatch.
+    [instrument] runs on the freshly built cluster before any transaction
+    is submitted — the hook the [Dtx_check] analyzer (and the history-based
+    tests) attach through. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** One-paragraph human-readable summary. *)
