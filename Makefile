@@ -2,12 +2,14 @@
 # (ocamlformat is not pinned in this environment, so formatting is not
 # part of the gate; add it here if/when the binary is available.)
 
-.PHONY: check build test bench bench-smoke bench-json bench-scale \
-	bench-scale-smoke ablation-identical analyze analyze-smoke \
+.PHONY: check build test test-locks-unsharded bench bench-smoke bench-json \
+	bench-scale bench-scale-smoke bench-parallel bench-parallel-smoke \
+	ablation-identical analyze analyze-smoke \
 	analyze-mutations chaos chaos-smoke explore explore-smoke \
 	explore-mutations clean
 
-check: build test bench-smoke bench-scale-smoke analyze-smoke chaos-smoke \
+check: build test test-locks-unsharded bench-smoke bench-scale-smoke \
+	bench-parallel-smoke analyze-smoke chaos-smoke \
 	explore-smoke ablation-identical
 
 build:
@@ -15,6 +17,12 @@ build:
 
 test:
 	dune runtest
+
+# The lock-table suite again with a single shard: the batched-vs-per-request
+# QCheck differential (and everything else) must hold at both ends of the
+# DTX_LOCK_SHARDS range.
+test-locks-unsharded:
+	DTX_LOCK_SHARDS=1 dune exec test/test_locks.exe
 
 bench:
 	dune exec bench/main.exe -- quick
@@ -37,11 +45,24 @@ bench-scale:
 bench-scale-smoke:
 	dune exec bench/main.exe -- scale smoke
 
+# Serial-vs-domain-pool curve on the extreme-scale configuration — writes
+# BENCH_pr7.json (and fails if any domain count diverges from serial).
+bench-parallel:
+	dune exec bench/main.exe -- parallel
+
+# Reduced curve that writes nothing — part of `make check`.
+bench-parallel-smoke:
+	dune exec bench/main.exe -- parallel smoke
+
 # Byte-identical ablation gate: the legacy binary-heap simulator queue and
 # an unsharded (single-shard) lock table must reproduce the default
 # configuration's chaos and explore output exactly — the backends are
 # interchangeable implementations of one (time, seq) / one lock-table
-# semantics, so any divergence is a bug.
+# semantics, so any divergence is a bug. Likewise a DTX_DOMAINS=4 worker
+# pool must reproduce the serial (DTX_DOMAINS=1) output byte for byte on
+# chaos, explore and a scale run: parallel ticks defer every shared effect
+# and replay in sequence order, so they are an implementation detail of the
+# same deterministic simulation.
 ablation-identical:
 	dune exec bin/dtx_cli.exe -- chaos --smoke > _build/ablation_default.out
 	DTX_SIM_QUEUE=heap DTX_LOCK_SHARDS=1 dune exec bin/dtx_cli.exe -- \
@@ -51,6 +72,21 @@ ablation-identical:
 	DTX_SIM_QUEUE=heap DTX_LOCK_SHARDS=1 dune exec bin/dtx_cli.exe -- \
 	  explore --scenario ref > _build/ablation_legacy.out
 	cmp _build/ablation_default.out _build/ablation_legacy.out
+	DTX_DOMAINS=1 dune exec bin/dtx_cli.exe -- chaos --smoke \
+	  > _build/ablation_serial.out
+	DTX_DOMAINS=4 dune exec bin/dtx_cli.exe -- chaos --smoke \
+	  > _build/ablation_domains.out
+	cmp _build/ablation_serial.out _build/ablation_domains.out
+	DTX_DOMAINS=1 dune exec bin/dtx_cli.exe -- explore --scenario ref \
+	  > _build/ablation_serial.out
+	DTX_DOMAINS=4 dune exec bin/dtx_cli.exe -- explore --scenario ref \
+	  > _build/ablation_domains.out
+	cmp _build/ablation_serial.out _build/ablation_domains.out
+	DTX_DOMAINS=1 dune exec bin/dtx_cli.exe -- scale --sites 50 \
+	  --clients 200 --no-timing > _build/ablation_serial.out
+	DTX_DOMAINS=4 dune exec bin/dtx_cli.exe -- scale --sites 50 \
+	  --clients 200 --no-timing > _build/ablation_domains.out
+	cmp _build/ablation_serial.out _build/ablation_domains.out
 
 # Invariant analyzer (Dtx_check): seeded workloads under every protocol with
 # the serializability / S2PL / FSM / deadlock checker attached. Exits

@@ -289,7 +289,14 @@ let scale_cmd =
   let upd = Arg.(value & opt int 20 & info [ "update-pct" ] ~doc:"Percent update transactions.") in
   let mb = Arg.(value & opt float 10.0 & info [ "mb" ] ~doc:"Base size in paper-MB.") in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload seed.") in
-  let run kind clients sites txns ops upd mb seed =
+  let no_timing =
+    Arg.(value & flag
+         & info [ "no-timing" ]
+             ~doc:"Omit wall-clock timing lines, leaving only deterministic \
+                   simulation output (for byte-for-byte run comparisons, \
+                   e.g. the DTX_DOMAINS ablation gate).")
+  in
+  let run kind clients sites txns ops upd mb seed no_timing =
     let p =
       { Workload.default_params with
         protocol = kind; n_clients = clients; n_sites = sites;
@@ -312,19 +319,22 @@ let scale_cmd =
     Format.printf "%a@." Workload.pp_result r;
     Format.printf
       "scale: %d sites, %d clients, %d/%d txns committed@ \
-       virtual throughput %.0f txn/s, mean response %.2f ms@ \
-       wall clock: %.2f s database + %.2f s run (%.0f txn/s real)@."
+       virtual throughput %.0f txn/s, mean response %.2f ms@."
       sites clients r.Workload.committed r.Workload.planned_txns
-      committed_per_s r.Workload.response.Stats.mean (t1 -. t0) (t2 -. t1)
-      (if t2 -. t1 > 0.0 then float_of_int r.Workload.committed /. (t2 -. t1)
-       else 0.0)
+      committed_per_s r.Workload.response.Stats.mean;
+    if not no_timing then
+      Format.printf
+        "wall clock: %.2f s database + %.2f s run (%.0f txn/s real)@."
+        (t1 -. t0) (t2 -. t1)
+        (if t2 -. t1 > 0.0 then float_of_int r.Workload.committed /. (t2 -. t1)
+         else 0.0)
   in
   Cmd.v
     (Cmd.info "scale"
        ~doc:"Run one extreme-scale workload (defaults: 1000 sites, 10000 \
              clients) and report throughput, latency and wall-clock cost.")
     Term.(const run $ protocol_arg $ clients $ sites $ txns $ ops $ upd $ mb
-          $ seed)
+          $ seed $ no_timing)
 
 (* --- analyze ----------------------------------------------------------------*)
 

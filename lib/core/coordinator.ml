@@ -50,6 +50,14 @@ type phase =
 type txn_state = {
   txn : Txn.t;
   on_finish : Txn.t -> unit;
+  op_sites : int list array;
+      (** per-operation replica sites (ascending), resolved from the catalog
+          once at submit — the shipping loop never re-derives them *)
+  involved : int list;
+      (** every site that may hold locks, wait edges or effects for this
+          transaction: the replica sites of every document it references plus
+          the coordinator, sorted unique; precomputed at submit (the catalog
+          is static for the life of a run) *)
   mutable phase : phase;
   mutable attempt : int;  (** shipment-round counter (tags effects/undos) *)
   mutable batch : Txn.op_record list;  (** operations in the current shipment *)
@@ -191,10 +199,8 @@ let retry_delay t (st : txn_state) =
   +. (0.3 *. float_of_int (st.txn.Txn.id mod 8))
   +. (0.2 *. float_of_int (min st.attempt 20))
 
-let singleton_site t doc =
-  match Allocation.sites_of t.catalog doc with
-  | [ s ] -> Some s
-  | _ -> None
+let singleton_site (st : txn_state) i =
+  match st.op_sites.(i) with [ s ] -> Some s | _ -> None
 
 (* Retransmission (enabled by [retransmit_ms]): re-send with exponential
    backoff while [still_pending ()] holds; after [max_retransmits] resends
@@ -229,7 +235,7 @@ let rec coordinator_step t (st : txn_state) =
     | None -> start_end_protocol t st ~commit:true
     | Some op_rec -> (
       let doc = op_rec.Txn.doc in
-      match Allocation.sites_of t.catalog doc with
+      match st.op_sites.(op_rec.Txn.op_index) with
       | [] ->
         st.reason <- Reason_op_failure (Printf.sprintf "no site holds %s" doc);
         start_end_protocol t st ~commit:false
@@ -249,7 +255,7 @@ let rec coordinator_step t (st : txn_state) =
             let n = Array.length ops in
             let rec collect i acc =
               if i >= n then List.rev acc
-              else if singleton_site t ops.(i).Txn.doc = Some s then
+              else if singleton_site st i = Some s then
                 collect (i + 1) (ops.(i) :: acc)
               else List.rev acc
             in
@@ -258,7 +264,7 @@ let rec coordinator_step t (st : txn_state) =
         in
         st.attempt <- st.attempt + 1;
         st.batch <- batch;
-        st.sites_left <- List.sort compare op_sites;
+        st.sites_left <- op_sites;
         st.sites_done <- [];
         Log.debug (fun m ->
             m "t%d op%d (batch %d) attempt %d -> sites [%s]" st.txn.Txn.id
@@ -291,7 +297,8 @@ and visit_next_site t (st : txn_state) =
     let shipments =
       List.map
         (fun (r : Txn.op_record) ->
-          { Msg.s_index = r.Txn.op_index; s_doc = r.Txn.doc; s_op = r.Txn.op })
+          { Msg.s_index = r.Txn.op_index; s_doc = r.Txn.doc; s_op = r.Txn.op;
+            s_text = r.Txn.op_text })
         st.batch
     in
     let msg = Msg.Op_ship { txn = st.txn.Txn.id; attempt; seq; ops = shipments } in
@@ -446,14 +453,7 @@ and handle_victim t ~txn =
 (* Commit / abort: Algorithms 5 and 6                                  *)
 (* ------------------------------------------------------------------ *)
 
-and involved_sites t (st : txn_state) =
-  (* Every site that may hold locks, wait edges or effects for this
-     transaction: the replica sites of every document it references, plus
-     the coordinator. *)
-  let doc_sites =
-    List.concat_map (Allocation.sites_of t.catalog) (Txn.docs st.txn)
-  in
-  List.sort_uniq compare (st.txn.Txn.coordinator :: doc_sites)
+and involved_sites _t (st : txn_state) = st.involved
 
 and start_end_protocol t (st : txn_state) ~commit =
   if not (finishing st) then begin
@@ -668,8 +668,23 @@ let submit t ~client ~coordinator ~ops ~on_finish =
   t.next_txn_id <- id + 1;
   let txn = Txn.create ~id ~client ~coordinator ops in
   txn.Txn.submitted_at <- Sim.now t.sim;
+  (* Precompute the transaction's site footprint once, here at submit: the
+     catalog never changes during a run, so the shipping loop and the end
+     protocol read these instead of re-deriving them per round. *)
+  let op_sites =
+    Array.map
+      (fun (r : Txn.op_record) ->
+        List.sort compare (Allocation.sites_of t.catalog r.Txn.doc))
+      txn.Txn.ops
+  in
+  let involved =
+    List.sort_uniq compare
+      (coordinator
+      :: Array.fold_left (fun acc ss -> List.rev_append ss acc) [] op_sites)
+  in
   let st =
-    { txn; on_finish; phase = Executing; attempt = 0; batch = [];
+    { txn; on_finish; op_sites; involved;
+      phase = Executing; attempt = 0; batch = [];
       sites_left = []; sites_done = []; awaiting_site = None;
       awaiting_seq = None; wake_pending = false; prepared = false;
       end_commit = false; pending_sites = []; round_failed = false;

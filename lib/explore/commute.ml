@@ -88,45 +88,80 @@ let shared_connect fp1 fp2 =
            fp2)
     fp1
 
-let decide t (doc1, op1) (doc2, op2) =
-  if doc1 <> doc2 then Commutes
-  else if (not (Op.is_update op1)) && not (Op.is_update op2) then Commutes
+(* A prepared operation: footprint and virtual-read set derived once, so
+   the O(n^2) pair loops below stop re-deriving locks (a cache probe with
+   structural Op hashing) and re-walking the DataGuide per pair. Derivation
+   grows the guide for insert targets, so [prepare] first warms every
+   operation once — driving the guide to its fixed point — and only then
+   snapshots footprints: every pairwise verdict is decided against one
+   consistent schema state. *)
+type prepared = {
+  p_doc : string;
+  p_op : Op.t;
+  p_fp : (Table.resource * Mode.t) list option;
+  p_vr : (Table.resource * Mode.t) list;
+}
+
+let prepare t ops =
+  Array.iter (fun (doc, op) -> ignore (footprint t ~doc op)) ops;
+  Array.map
+    (fun (doc, op) ->
+      {
+        p_doc = doc;
+        p_op = op;
+        p_fp = footprint t ~doc op;
+        p_vr = virtual_reads t ~doc op;
+      })
+    ops
+
+let decide_prepared t p1 p2 =
+  if p1.p_doc <> p2.p_doc then Commutes
+  else if (not (Op.is_update p1.p_op)) && not (Op.is_update p2.p_op) then
+    Commutes
   else
-    match (footprint t ~doc:doc1 op1, footprint t ~doc:doc2 op2) with
+    match (p1.p_fp, p2.p_fp) with
     | None, _ | _, None -> Unknown
     | Some fp1, Some fp2 ->
-      let vr1 = virtual_reads t ~doc:doc1 op1 in
-      let vr2 = virtual_reads t ~doc:doc2 op2 in
-      if lists_conflict (fp1 @ vr1) (fp2 @ vr2) then Conflicts
-      else if order_sensitive op1 && order_sensitive op2 && shared_connect fp1 fp2
+      if lists_conflict (fp1 @ p1.p_vr) (fp2 @ p2.p_vr) then Conflicts
+      else if
+        order_sensitive p1.p_op && order_sensitive p2.p_op
+        && shared_connect fp1 fp2
       then Unknown
       else if
         (* Without a DataGuide (Node2PL/Doc2PL/taDOM lock document nodes)
            there is no schema summary to read positions from, so two
            non-blocking updates on one document cannot be proved
            order-insensitive statically. *)
-        Protocol.dataguide t.proto doc1 = None
-        && Op.is_update op1 && Op.is_update op2
+        Protocol.dataguide t.proto p1.p_doc = None
+        && Op.is_update p1.p_op && Op.is_update p2.p_op
       then Unknown
       else Commutes
 
-let matrix t ops =
-  Array.map (fun o1 -> Array.map (fun o2 -> decide t o1 o2) ops) ops
+let decide t o1 o2 =
+  match prepare t [| o1; o2 |] with
+  | [| p1; p2 |] -> decide_prepared t p1 p2
+  | _ -> assert false
+
+let matrix_prepared t ps =
+  Array.map (fun p1 -> Array.map (fun p2 -> decide_prepared t p1 p2) ps) ps
+
+let matrix t ops = matrix_prepared t (prepare t ops)
 
 let self_check t ops =
-  let m = matrix t ops in
+  let ps = prepare t ops in
+  let m = matrix_prepared t ps in
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
   Array.iteri
-    (fun i (d1, o1) ->
+    (fun i p1 ->
       Array.iteri
-        (fun j (d2, o2) ->
+        (fun j p2 ->
           if m.(i).(j) <> m.(j).(i) then
             err "matrix asymmetric at (%d, %d): %s vs %s" i j
               (verdict_to_string m.(i).(j))
               (verdict_to_string m.(j).(i));
-          if d1 = d2 then
-            match (footprint t ~doc:d1 o1, footprint t ~doc:d2 o2) with
+          if p1.p_doc = p2.p_doc then
+            match (p1.p_fp, p2.p_fp) with
             | Some fp1, Some fp2 ->
               (* Soundness against the mode matrix: a raw lock-mode conflict
                  must never be declared commuting (Unknown is acceptable —
@@ -135,10 +170,14 @@ let self_check t ops =
                 err
                   "ops %d (%s on %s) and %d (%s on %s) hold conflicting lock \
                    modes yet were declared commuting"
-                  i (Op.to_string o1) d1 j (Op.to_string o2) d2
+                  i
+                  (Op.to_string p1.p_op)
+                  p1.p_doc j
+                  (Op.to_string p2.p_op)
+                  p2.p_doc
             | None, _ | _, None ->
               if m.(i).(j) <> Unknown then
                 err "underivable footprint at (%d, %d) must yield unknown" i j)
-        ops)
-    ops;
+        ps)
+    ps;
   match !errors with [] -> Ok () | es -> Error (List.rev es)

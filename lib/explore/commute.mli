@@ -53,7 +53,11 @@ val decide :
 val matrix :
   t -> (string * Dtx_update.Op.t) array -> verdict array array
 (** Pairwise verdicts for a workload's operations; [m.(i).(j)] is
-    [decide t ops.(i) ops.(j)]. Symmetric. *)
+    [decide t ops.(i) ops.(j)]. Symmetric. Each operation's footprint and
+    virtual-read set is derived once (after a warm-up pass that drives the
+    DataGuide's insert-target growth to its fixed point), not per pair, so
+    the n^2 loop decides every verdict against one consistent schema
+    state. *)
 
 val self_check :
   t -> (string * Dtx_update.Op.t) array -> (unit, string list) result

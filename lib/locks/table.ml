@@ -25,16 +25,18 @@ let value_syms = Intern.create ~max_ids:value_limit "lock value"
 
 (* Single-entry memo for the doc-name intern: derivation emits long runs of
    resources for the same physically-equal doc-name string, so the common
-   case skips the string hash entirely. *)
-let last_doc = ref ""
-let last_doc_id = ref (-1)
+   case skips the string hash entirely. The (doc, id) pair lives in ONE ref
+   cell so the memo stays consistent under concurrent writers (worker
+   domains in a parallel simulator tick): a racy read sees some complete
+   pair, never a doc matched with another doc's id. *)
+let last_doc = ref ("", -1)
 
 let doc_id doc =
-  if doc == !last_doc then !last_doc_id
+  let d, id = !last_doc in
+  if doc == d then id
   else begin
     let id = Intern.intern doc_syms doc in
-    last_doc := doc;
-    last_doc_id := id;
+    last_doc := (doc, id);
     id
   end
 
@@ -163,18 +165,63 @@ type shard = {
    its [entries] is empty and [smask] is 0, which answer correctly. *)
 let dummy_shard = { entries = Itbl.create 1; mode_counts = [||]; smask = 0 }
 
+(* A transaction's lock footprint, in grant order: parallel arrays of the
+   resource and its table entry. Append-only arrays beat a per-transaction
+   hash set on the grant path (one bounds check and two stores per new
+   resource, no table allocation per transaction), and carrying the entry
+   pointer — valid for the table's lifetime, since released entries remain
+   as tombstones — lets the release walk skip the entry-map probe
+   entirely. Slots may go stale: an undo leaves the resource in the array,
+   and re-acquiring it later appends it again, so the release walk must
+   tolerate resources the transaction no longer holds (it strips holders by
+   txn, and a stale visit simply finds none). *)
+type txn_locks = {
+  mutable rs : int array;
+  mutable es : entry array;
+  mutable n : int;
+}
+
 type t = {
   shards : shard array;
-  by_txn : unit Itbl.t Itbl.t;  (* txn -> set of its resources *)
+  by_txn : txn_locks Itbl.t;  (* txn -> its resources, in grant order *)
   mutable grants : int;
   mutable tracer : (event -> unit) option;
+  (* Preallocated scratch for [acquire_all]'s conflict pass: blocker txn
+     ids land here instead of a consed list, so the (overwhelmingly common)
+     no-conflict batch allocates nothing at all. *)
+  mutable conflict_scratch : int array;
 }
 
 let create () =
   { shards = Array.make shard_count dummy_shard;
     by_txn = Itbl.create 64;
     grants = 0;
-    tracer = None }
+    tracer = None;
+    conflict_scratch = Array.make 16 0 }
+
+let dummy_entry = { holders = []; mask = 0 }
+
+let txn_locks t txn =
+  match Itbl.find t.by_txn txn with
+  | l -> l
+  | exception Not_found ->
+    let l = { rs = Array.make 8 0; es = Array.make 8 dummy_entry; n = 0 } in
+    Itbl.replace t.by_txn txn l;
+    l
+
+let push_lock (l : txn_locks) r e =
+  if l.n >= Array.length l.rs then begin
+    let n = Array.length l.rs in
+    let rs = Array.make (2 * n) 0 in
+    let es = Array.make (2 * n) dummy_entry in
+    Array.blit l.rs 0 rs 0 l.n;
+    Array.blit l.es 0 es 0 l.n;
+    l.rs <- rs;
+    l.es <- es
+  end;
+  l.rs.(l.n) <- r;
+  l.es.(l.n) <- e;
+  l.n <- l.n + 1
 
 let set_tracer t tr = t.tracer <- tr
 
@@ -210,24 +257,19 @@ let shard_remove_holder sh (mode : Mode.t) =
   sh.mode_counts.(i) <- c;
   if c = 0 then sh.smask <- sh.smask land lnot (Mode.bit mode)
 
+(* [Itbl.find] + [Not_found] rather than [find_opt]: the exception is a
+   preallocated constant, the [Some] box is a fresh two-word block per
+   probe — and these probes run once per grant and once per release. *)
 let entry sh r =
-  match Itbl.find_opt sh.entries r with
-  | Some e -> e
-  | None ->
+  match Itbl.find sh.entries r with
+  | e -> e
+  | exception Not_found ->
     let e = { holders = []; mask = 0 } in
     Itbl.replace sh.entries r e;
     e
 
 let recompute_mask e =
   e.mask <- List.fold_left (fun m h -> m lor Mode.bit h.mode) 0 e.holders
-
-let txn_set t txn =
-  match Itbl.find_opt t.by_txn txn with
-  | Some s -> s
-  | None ->
-    let s = Itbl.create 16 in
-    Itbl.replace t.by_txn txn s;
-    s
 
 let rec find_holder holders txn (mode : Mode.t) =
   match holders with
@@ -252,70 +294,111 @@ let ungrant t ~txn r mode =
       if h.count = 0 then begin
         e.holders <- List.filter (fun h' -> not (h' == h)) e.holders;
         shard_remove_holder sh mode;
-        if e.holders = [] then Itbl.remove sh.entries r else recompute_mask e;
-        (* Keep the per-transaction resource set exact: once the last of the
-           transaction's holds on [r] is undone, [r] must leave its set, so
-           a later [release_txn] never touches entries the transaction no
-           longer owns (they may belong to someone else by then). *)
-        if not (List.exists (fun h' -> h'.txn = txn) e.holders) then
-          match Itbl.find_opt t.by_txn txn with
-          | Some set ->
-            Itbl.remove set r;
-            if Itbl.length set = 0 then Itbl.remove t.by_txn txn
-          | None -> ()
+        (* The entry stays (as an empty tombstone) and so does the resource
+           in the transaction's footprint array: both are reused on the next
+           acquire, and [release_txn] partitions holders by txn, so visiting
+           an entry the transaction no longer owns — even one that belongs
+           to someone else by then — is a no-op. *)
+        recompute_mask e
       end)
 
-let sort_uniq_ints l = List.sort_uniq compare l
+(* [Ok ()] preallocated: the grant path returns it thousands of times per
+   simulated second and must not cons a fresh block each time. *)
+let ok_unit : (unit, int list) result = Ok ()
+
+let push_conflict t n txn =
+  if n >= Array.length t.conflict_scratch then begin
+    let bigger = Array.make (2 * Array.length t.conflict_scratch) 0 in
+    Array.blit t.conflict_scratch 0 bigger 0 n;
+    t.conflict_scratch <- bigger
+  end;
+  t.conflict_scratch.(n) <- txn;
+  n + 1
+
+(* Sorted unique list of the first [n] scratch entries — only ever built on
+   the (rare) conflicting path, so it may allocate freely. *)
+let scratch_blockers t n =
+  let a = Array.sub t.conflict_scratch 0 n in
+  Array.sort (fun (x : int) y -> compare x y) a;
+  let rec uniq i prev acc =
+    if i < 0 then acc
+    else
+      let x = a.(i) in
+      if x = prev then uniq (i - 1) prev acc else uniq (i - 1) x (x :: acc)
+  in
+  uniq (n - 2) a.(n - 1) [ a.(n - 1) ]
 
 let acquire_all t ~txn requests =
   (* First pass: collect every conflicting transaction without mutating.
      Requests route to their shard with one xor+mask; when the request mode
      is compatible with the shard's whole-shard mask no entry in the shard
      can conflict, so the common uncontended case never even probes the
-     entry map. Otherwise the per-entry mask keeps the old fast path. *)
-  let conflicting = ref [] in
-  List.iter
-    (fun (r, mode) ->
+     entry map. Otherwise the per-entry mask keeps the old fast path.
+     Explicit recursion (no closures) and the table's scratch array keep
+     this pass allocation-free. *)
+  let rec scan_holders holders mode n =
+    match holders with
+    | [] -> n
+    | h :: rest ->
+      let n =
+        if h.txn <> txn && not (Mode.compatible h.mode mode) then
+          push_conflict t n h.txn
+        else n
+      in
+      scan_holders rest mode n
+  in
+  let rec conflict_pass reqs n =
+    match reqs with
+    | [] -> n
+    | (r, mode) :: rest ->
       let sh = shard t r in
-      if not (Mode.mask_compatible mode ~held_mask:sh.smask) then
-        match Itbl.find_opt sh.entries r with
-        | None -> ()
-        | Some e ->
-          if not (Mode.mask_compatible mode ~held_mask:e.mask) then
-            List.iter
-              (fun h ->
-                if h.txn <> txn && not (Mode.compatible h.mode mode) then
-                  conflicting := h.txn :: !conflicting)
-              e.holders)
-    requests;
-  match sort_uniq_ints !conflicting with
-  | [] ->
-    (* Grant pass: all requests share [txn], so resolve its resource set
+      let n =
+        if Mode.mask_compatible mode ~held_mask:sh.smask then n
+        else
+          match Itbl.find_opt sh.entries r with
+          | None -> n
+          | Some e ->
+            if Mode.mask_compatible mode ~held_mask:e.mask then n
+            else scan_holders e.holders mode n
+      in
+      conflict_pass rest n
+  in
+  let conflicts = conflict_pass requests 0 in
+  if conflicts > 0 then Error (scratch_blockers t conflicts)
+  else begin
+    (* Grant pass: all requests share [txn], so resolve its footprint array
        once instead of per grant. Iteration stays in request order (not
-       shard order) so traced Acquired events are unchanged. *)
-    let set = txn_set t txn in
-    let grant (r, mode) =
-      let sh = materialize t r in
-      let e = entry sh r in
-      (match find_holder e.holders txn mode with
-       | Some h -> h.count <- h.count + 1
-       | None ->
-         e.holders <- { txn; mode; count = 1 } :: e.holders;
-         e.mask <- e.mask lor Mode.bit mode;
-         shard_add_holder sh mode);
-      t.grants <- t.grants + 1;
-      Itbl.replace set r ()
+       shard order) so traced Acquired events are unchanged. A resource
+       joins the footprint only when the transaction gains its first holder
+       on it (refcount bumps and extra modes reuse the existing slot). *)
+    let locks = txn_locks t txn in
+    let rec among holders =
+      match holders with
+      | [] -> false
+      | h :: rest -> h.txn = txn || among rest
     in
-    (match t.tracer with
-     | None -> List.iter grant requests
-     | Some tr ->
-       List.iter
-         (fun ((r, mode) as req) ->
-           grant req;
-           tr (Acquired { txn; resource = r; mode }))
-         requests);
-    Ok ()
-  | blockers -> Error blockers
+    let rec grant_pass reqs =
+      match reqs with
+      | [] -> ()
+      | (r, mode) :: rest ->
+        let sh = materialize t r in
+        let e = entry sh r in
+        (match find_holder e.holders txn mode with
+         | Some h -> h.count <- h.count + 1
+         | None ->
+           if not (among e.holders) then push_lock locks r e;
+           e.holders <- { txn; mode; count = 1 } :: e.holders;
+           e.mask <- e.mask lor Mode.bit mode;
+           shard_add_holder sh mode);
+        t.grants <- t.grants + 1;
+        (match t.tracer with
+         | Some tr -> tr (Acquired { txn; resource = r; mode })
+         | None -> ());
+        grant_pass rest
+    in
+    grant_pass requests;
+    ok_unit
+  end
 
 let release_request t ~txn requests =
   List.iter (fun (r, mode) -> ungrant t ~txn r mode) requests
@@ -323,36 +406,44 @@ let release_request t ~txn requests =
 let release_txn t ~txn =
   match Itbl.find_opt t.by_txn txn with
   | None -> []
-  | Some set ->
+  | Some locks ->
     let freed = ref [] in
-    Itbl.iter
-      (fun r () ->
-        let sh = shard t r in
-        match Itbl.find_opt sh.entries r with
-        | None -> ()
-        | Some e ->
-          let mine, others = List.partition (fun h -> h.txn = txn) e.holders in
-          if mine <> [] then begin
-            List.iter
-              (fun h ->
-                t.grants <- t.grants - h.count;
-                shard_remove_holder sh h.mode;
-                match t.tracer with
-                | Some tr ->
-                  tr
-                    (Released
-                       { txn; resource = r; mode = h.mode; count = h.count;
-                         kind = End_of_txn })
-                | None -> ())
-              mine;
-            freed := r :: !freed;
-            if others = [] then Itbl.remove sh.entries r
-            else begin
-              e.holders <- others;
-              recompute_mask e
-            end
-          end)
-      set;
+    (* Walk the footprint in grant order — deterministic and independent of
+       the shard layout, so traced Released events cannot vary with
+       DTX_LOCK_SHARDS. Stale slots (undone or already-visited resources)
+       find no holders for [txn] and fall through. *)
+    let rec strip sh r holders kept =
+      match holders with
+      | [] -> kept
+      | h :: rest ->
+        if h.txn = txn then begin
+          t.grants <- t.grants - h.count;
+          shard_remove_holder sh h.mode;
+          (match t.tracer with
+           | Some tr ->
+             tr
+               (Released
+                  { txn; resource = r; mode = h.mode; count = h.count;
+                    kind = End_of_txn })
+           | None -> ());
+          strip sh r rest kept
+        end
+        else strip sh r rest (h :: kept)
+    in
+    for i = 0 to locks.n - 1 do
+      let r = locks.rs.(i) in
+      let e = locks.es.(i) in
+      let sh = shard t r in
+      (* [grants] moves iff [strip] removed one of [txn]'s holders, so it
+         doubles as the found-flag without a tuple return. *)
+      let g0 = t.grants in
+      let kept = strip sh r e.holders [] in
+      if t.grants <> g0 then begin
+        freed := r :: !freed;
+        e.holders <- kept;
+        recompute_mask e
+      end
+    done;
     Itbl.remove t.by_txn txn;
     !freed
 
@@ -364,16 +455,17 @@ let holders t r =
 let locks_of t ~txn =
   match Itbl.find_opt t.by_txn txn with
   | None -> []
-  | Some set ->
-    Itbl.fold
-      (fun r () acc ->
-        match Itbl.find_opt (shard t r).entries r with
-        | None -> acc
-        | Some e ->
-          List.fold_left
-            (fun acc h -> if h.txn = txn then (r, h.mode) :: acc else acc)
-            acc e.holders)
-      set []
+  | Some locks ->
+    let acc = ref [] in
+    for i = 0 to locks.n - 1 do
+      let r = locks.rs.(i) in
+      List.iter
+        (fun h -> if h.txn = txn then acc := (r, h.mode) :: !acc)
+        locks.es.(i).holders
+    done;
+    (* A re-acquired-after-undo resource can sit in the footprint twice;
+       collapse the duplicate pairs. *)
+    List.sort_uniq compare !acc
 
 let lock_count t = t.grants
 

@@ -10,7 +10,11 @@ type shipment = {
   s_index : int;
   s_doc : string;
   s_op : Op.t;
+  s_text : string;
 }
+
+let shipment ~index ~doc op =
+  { s_index = index; s_doc = doc; s_op = op; s_text = Op.to_string op }
 
 type t =
   | Op_ship of { txn : int; attempt : int; seq : int; ops : shipment list }
@@ -132,8 +136,16 @@ let put_string b s =
   put_varint b (String.length s);
   Buffer.add_string b s
 
+(* One process-wide scratch buffer: [encode] is off the simulation hot path
+   (dispatch sizes messages arithmetically, see [size]) but round-trip
+   tests and tooling still call it in tight loops; reusing the buffer makes
+   each call allocate only its result string. Not used from worker domains
+   — encoding only happens on serial paths. *)
+let encode_buf = Buffer.create 256
+
 let encode m =
-  let b = Buffer.create 32 in
+  let b = encode_buf in
+  Buffer.clear b;
   Buffer.add_char b (Char.chr (Kind.index (kind m)));
   (match m with
    | Op_ship { txn; attempt; seq; ops } ->
@@ -145,7 +157,7 @@ let encode m =
        (fun s ->
          put_varint b s.s_index;
          put_string b s.s_doc;
-         put_string b (Op.to_string s.s_op))
+         put_string b s.s_text)
        ops
    | Op_status { txn; attempt; seq; granted; status; result_bytes } ->
      put_varint b txn;
@@ -221,10 +233,12 @@ let decode s =
     pos := !pos + n;
     r
   in
+  (* The wire text is kept verbatim as [s_text]: re-encoding a decoded
+     shipment writes the same bytes without re-rendering the operation. *)
   let op_ () =
     let txt = string_ () in
     match Op.parse txt with
-    | Ok op -> op
+    | Ok op -> (op, txt)
     | Error e -> raise (Bad (Printf.sprintf "bad operation %S: %s" txt e))
   in
   try
@@ -242,8 +256,8 @@ let decode s =
             List.init n (fun _ ->
                 let s_index = varint () in
                 let s_doc = string_ () in
-                let s_op = op_ () in
-                { s_index; s_doc; s_op })
+                let s_op, s_text = op_ () in
+                { s_index; s_doc; s_op; s_text })
           in
           Op_ship { txn; attempt; seq; ops }
         | 1 ->
@@ -300,9 +314,58 @@ let decode s =
     end
   with Bad e -> Error e
 
+(* [size] is called by [Net.dispatch] for every message copy, so it computes
+   the encoded width arithmetically — one varint-width sum per field, no
+   buffer, no string, no allocation. [test_msg] pins it to
+   [String.length (encode m)] for every constructor. *)
+let varint_len n =
+  let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+  go n 1
+
+let string_len s = varint_len (String.length s) + String.length s
+
 let size m =
-  let payload = match m with Op_status { result_bytes; _ } -> result_bytes | _ -> 0 in
-  String.length (encode m) + payload
+  1
+  +
+  match m with
+  | Op_ship { txn; attempt; seq; ops } ->
+    let rec ops_len l acc =
+      match l with
+      | [] -> acc
+      | s :: rest ->
+        ops_len rest
+          (acc + varint_len s.s_index + string_len s.s_doc
+          + string_len s.s_text)
+    in
+    varint_len txn + varint_len attempt + varint_len seq
+    + varint_len (List.length ops)
+    + ops_len ops 0
+  | Op_status { txn; attempt; seq; granted; status; result_bytes } ->
+    varint_len txn + varint_len attempt + varint_len seq + varint_len granted
+    + (match status with
+      | Granted | Blocked | Deadlock -> 1
+      | Failed msg -> 1 + string_len msg)
+    + varint_len result_bytes
+    (* the modelled result payload rides on top of the encoded bytes *)
+    + result_bytes
+  | Op_undo { txn; op_index; attempt } ->
+    varint_len txn + varint_len op_index + varint_len attempt
+  | Prepare { txn }
+  | Commit { txn }
+  | Wake { txn }
+  | Wound { txn }
+  | Victim { txn }
+  | Outcome_query { txn } -> varint_len txn
+  | Vote { txn; _ } | End_ack { txn; _ } | Abort { txn; _ }
+  | Outcome_reply { txn; _ } -> varint_len txn + 1
+  | Wfg_request -> 0
+  | Wfg_reply { edges } ->
+    let rec edges_len l acc =
+      match l with
+      | [] -> acc
+      | (w, h) :: rest -> edges_len rest (acc + varint_len w + varint_len h)
+    in
+    varint_len (List.length edges) + edges_len edges 0
 
 let pp ppf m =
   match m with

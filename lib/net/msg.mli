@@ -29,7 +29,15 @@ type shipment = {
   s_index : int;  (** the operation's index in its transaction *)
   s_doc : string;  (** target document *)
   s_op : Op.t;
+  s_text : string;
+      (** the operation's canonical {!Op.to_string} rendering, computed once
+          when the shipment is built (at transaction submit time) and written
+          verbatim on the wire — sizing and encoding never re-render the
+          operation *)
 }
+
+val shipment : index:int -> doc:string -> Op.t -> shipment
+(** Build a shipment, rendering [s_text] from the operation. *)
 
 type t =
   | Op_ship of { txn : int; attempt : int; seq : int; ops : shipment list }
@@ -121,8 +129,10 @@ val decode : string -> (t, string) result
 (** Inverse of {!encode}: [decode (encode m)] reconstructs [m]. *)
 
 val size : t -> int
-(** Bytes this message occupies on the wire: [String.length (encode m)],
-    plus the modelled result payload for {!t.Op_status}. This is what every
-    send charges the network. *)
+(** Bytes this message occupies on the wire: exactly
+    [String.length (encode m)], plus the modelled result payload for
+    {!t.Op_status}. This is what every send charges the network. Computed
+    arithmetically (varint widths + string lengths) without encoding, so
+    the per-dispatch cost is allocation-free. *)
 
 val pp : Format.formatter -> t -> unit

@@ -67,6 +67,12 @@ type t = {
   mutable handler : handler option;
   mutable tracer : tracer option;
   mutable fault : fault option;
+  (* Maps (destination, message) to the site whose state the delivery
+     handler will touch, or -1 when the handler touches shared/coordinator
+     state. Site-tagged delivery events may run on worker domains during a
+     parallel simulator tick (see {!Dtx_sim.Sim}); untagged ones are
+     barriers. Installed by the cluster once routing is known. *)
+  mutable site_hint : (int -> Msg.t -> int) option;
   (* Every in-flight [dispatch] copy, keyed by its simulator event id, so a
      schedule explorer can tell which pending events are message deliveries
      (and to whom). Entries retire when the delivery event fires — including
@@ -91,6 +97,7 @@ let of_config ~sim (c : Config.t) =
     handler = None;
     tracer = None;
     fault = None;
+    site_hint = None;
     pending = Hashtbl.create 16 }
 
 let set_handler t h = t.handler <- Some h
@@ -98,6 +105,8 @@ let set_handler t h = t.handler <- Some h
 let set_tracer t tr = t.tracer <- tr
 
 let set_fault t f = t.fault <- f
+
+let set_site_hint t h = t.site_hint <- h
 
 let latency t ~src ~dst ~bytes =
   if src = dst then 0.0
@@ -108,7 +117,7 @@ let latency t ~src ~dst ~bytes =
 let lossy_drop t ~src ~dst channel =
   src <> dst && channel = Unreliable && t.drop_pct > 0 && Rng.pct t.rng t.drop_pct
 
-let send t ~src ~dst ~bytes ?(channel = Reliable) k =
+let send_now t ~src ~dst ~bytes ~channel k =
   let delay = latency t ~src ~dst ~bytes in
   if src <> dst then begin
     t.messages <- t.messages + 1;
@@ -117,7 +126,14 @@ let send t ~src ~dst ~bytes ?(channel = Reliable) k =
   if lossy_drop t ~src ~dst channel then t.dropped <- t.dropped + 1
   else ignore (Sim.schedule t.sim ~delay k)
 
-let dispatch t ~src ~dst ?(channel = Reliable) msg =
+let send t ~src ~dst ~bytes ?(channel = Reliable) k =
+  (* Counters and the RNG are shared: from a worker domain during a parallel
+     tick the whole send defers, replaying in serial order on the main
+     domain. *)
+  let go () = send_now t ~src ~dst ~bytes ~channel k in
+  if not (Sim.defer go) then go ()
+
+let dispatch_now t ~src ~dst ~channel msg =
   let h =
     match t.handler with
     | Some h -> h
@@ -157,18 +173,32 @@ let dispatch t ~src ~dst ?(channel = Reliable) msg =
       | None -> k
       | Some f ->
         (* Re-check the link when the copy actually arrives: a partition
-           (or crash) that formed in flight swallows it. *)
+           (or crash) that formed in flight swallows it. The drop counters
+           are shared state, so when the delivery fired on a worker domain
+           the accounting defers to the main-domain replay. *)
         fun () ->
           if f.f_deliverable ~time:(Sim.now t.sim) ~src ~dst then k ()
-          else count_drop ()
+          else if not (Sim.defer count_drop) then count_drop ()
+    in
+    (* Site-tag the delivery event when the cluster can prove the handler
+       only touches [dst]'s site state — but never while a tracer watches:
+       the tracer's [Deliver] callbacks must observe the serial causal
+       order, so traced runs keep every delivery on the main domain. *)
+    let site =
+      match t.site_hint with
+      | Some hint when t.tracer = None -> hint dst msg
+      | Some _ | None -> -1
     in
     let schedule_delivery delay =
       let body = deliver () in
       let id = ref None in
       let seq =
-        Sim.schedule t.sim ~delay (fun () ->
+        Sim.schedule t.sim ~site ~delay (fun () ->
             (match !id with
-             | Some seq -> Hashtbl.remove t.pending seq
+             | Some seq ->
+               (* the pending table is shared across sites *)
+               let retire () = Hashtbl.remove t.pending seq in
+               if not (Sim.defer retire) then retire ()
              | None -> ());
             body ())
       in
@@ -191,6 +221,15 @@ let dispatch t ~src ~dst ?(channel = Reliable) msg =
           (fun off -> schedule_delivery (delay +. Float.max 0.0 off))
           offsets)
   end
+
+(* Traffic counters, the loss RNG, the tracer and the pending table are all
+   shared, so a dispatch issued by a site-tagged action on a worker domain
+   defers wholesale; the main-domain replay (in serial order) then performs
+   the counting, loss decision and delivery scheduling exactly as a serial
+   run would have. *)
+let dispatch t ~src ~dst ?(channel = Reliable) msg =
+  let go () = dispatch_now t ~src ~dst ~channel msg in
+  if not (Sim.defer go) then go ()
 
 let pending_deliveries t =
   Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) t.pending []

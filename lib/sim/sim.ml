@@ -1,9 +1,11 @@
 module Heap = Dtx_util.Heap
 module Calqueue = Dtx_util.Calqueue
+module Dpool = Dtx_util.Dpool
 
 type event = {
   time : float;
   seq : int;
+  site : int;  (* owning site for parallel ticks; -1 = unpartitioned *)
   action : unit -> unit;
   mutable cancelled : bool;
 }
@@ -36,6 +38,8 @@ type t = {
   mutable cancelled_pending : int;
   mutable tracer : (time:float -> seq:int -> unit) option;
   mutable chooser : (candidate list -> event_id) option;
+  domains : int;  (* DTX_DOMAINS at create time; > 1 enables parallel ticks *)
+  mutable serial_only : bool;  (* opt-out for history/analysis consumers *)
 }
 
 let cmp_event a b =
@@ -59,13 +63,23 @@ let create () =
     | Some other ->
       invalid_arg ("Sim: unknown DTX_SIM_QUEUE backend: " ^ other)
   in
+  let domains =
+    match Sys.getenv_opt "DTX_DOMAINS" with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 && n <= 64 -> n
+      | _ -> invalid_arg "DTX_DOMAINS must be an integer between 1 and 64")
+  in
   { clock = 0.0;
     next_seq = 0;
     queue;
     live = Hashtbl.create 16;
     cancelled_pending = 0;
     tracer = None;
-    chooser = None }
+    chooser = None;
+    domains;
+    serial_only = false }
 
 let qpush t ev =
   match t.queue with Cal q -> Calqueue.push q ev | Bin h -> Heap.push h ev
@@ -83,20 +97,56 @@ let set_tracer t tr = t.tracer <- tr
 
 let set_chooser t c = t.chooser <- c
 
+let set_serial_only t v = t.serial_only <- v
+
+let domains t = t.domains
+
 let now t = t.clock
 
-let schedule_at t ~time action =
-  let time = if time < t.clock then t.clock else time in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  let ev = { time; seq; action; cancelled = false } in
-  qpush t ev;
-  Hashtbl.replace t.live seq ev;
-  seq
+(* --- deferred effects (parallel ticks) ------------------------------- *)
 
-let schedule t ~delay action =
+(* While a worker domain executes one site's events of a parallel batch,
+   this domain-local slot holds the event's effect buffer: every schedule
+   (and, via {!defer}, every other shared-state effect such as a network
+   dispatch) is appended instead of performed, then replayed on the main
+   domain in global (seq, call) order once the batch joined. That replay
+   order is exactly the order a serial run would have performed the same
+   effects in, so sequence numbers, RNG draws and counters come out
+   byte-identical. On the main domain the slot is [None] and every
+   operation takes its normal immediate path. *)
+let sink_key : (unit -> unit) list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let defer thunk =
+  match Domain.DLS.get sink_key with
+  | Some buf ->
+    buf := thunk :: !buf;
+    true
+  | None -> false
+
+(* Id handed back for a schedule deferred from a worker: the real event is
+   created at replay time, after the caller's frame is gone. Callers on
+   parallel paths ignore schedule ids (asserted by audit, not by type);
+   [cancel] on it is a no-op. *)
+let deferred_id : event_id = -1
+
+let rec schedule_at t ?(site = -1) ~time action =
+  if
+    defer (fun () -> ignore (schedule_at t ~site ~time action))
+  then deferred_id
+  else begin
+    let time = if time < t.clock then t.clock else time in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let ev = { time; seq; site; action; cancelled = false } in
+    qpush t ev;
+    Hashtbl.replace t.live seq ev;
+    seq
+  end
+
+let schedule t ?site ~delay action =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) action
+  schedule_at t ?site ~time:(t.clock +. delay) action
 
 (* Compaction: physically drop cancelled (and chooser-retired) entries from
    the queue instead of letting lazy deletion accumulate them. A cancelled
@@ -232,22 +282,143 @@ let next_time t =
   | Some _ -> (
     match candidates t with [] -> None | c :: _ -> Some c.c_time)
 
-let run ?until ?max_events t =
-  let fired = ref 0 in
-  let continue () =
-    match max_events with Some m -> !fired < m | None -> true
+(* --- parallel ticks --------------------------------------------------- *)
+
+(* One pool for the whole process: sims come and go (sweeps, tests), the
+   domains persist, parked between batches. Only the main domain submits. *)
+let pool = lazy (Dpool.create ())
+
+(* Execute one batch — every live event sharing the minimum timestamp — by
+   splitting it, in ascending seq order, into maximal runs of site-tagged
+   events separated by untagged ones. Untagged events (coordinator steps,
+   client submissions, the deadlock detector) touch global state and run
+   serially, exactly in seq order. A run of tagged events partitions by
+   site: different sites touch disjoint site-local state and defer every
+   shared effect (schedules, network dispatches) into per-event buffers, so
+   the runs may execute on worker domains concurrently; the buffers then
+   replay on the main domain in seq order, reproducing the serial execution
+   byte for byte. Same-site events stay in seq order within their group.
+
+   Two invariants this relies on (audited, not enforced):
+   - a site-tagged action touches only its site's state, [now], and
+     read-only global tables that no same-tick tagged action writes;
+   - tagged actions never [cancel] same-tick tagged events (cancel is
+     currently test-only). *)
+let run_section t section =
+  match section with
+  | [] -> ()
+  | [ ev ] ->
+    (* nothing to overlap with — run in place, effects undeferred *)
+    Hashtbl.remove t.live ev.seq;
+    ev.action ()
+  | evs ->
+    let groups : (int, (event * (unit -> unit) list ref) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let order =
+      List.map
+        (fun ev ->
+          Hashtbl.remove t.live ev.seq;
+          let slot = ref [] in
+          (match Hashtbl.find_opt groups ev.site with
+           | Some l -> l := (ev, slot) :: !l
+           | None -> Hashtbl.add groups ev.site (ref [ (ev, slot) ]));
+          (ev, slot))
+        evs
+    in
+    let job_lists = Hashtbl.fold (fun _ l acc -> List.rev !l :: acc) groups [] in
+    (match job_lists with
+     | [ one ] ->
+       (* a single site: already sequential, skip the deferral machinery *)
+       List.iter (fun (ev, _) -> ev.action ()) one
+     | _ ->
+       let jobs =
+         Array.of_list
+           (List.map
+              (fun group () ->
+                List.iter
+                  (fun ((ev : event), slot) ->
+                    Domain.DLS.set sink_key (Some slot);
+                    match ev.action () with
+                    | () -> Domain.DLS.set sink_key None
+                    | exception e ->
+                      Domain.DLS.set sink_key None;
+                      raise e)
+                  group)
+              job_lists)
+       in
+       Dpool.run (Lazy.force pool) ~workers:(t.domains - 1) jobs;
+       List.iter
+         (fun (_ev, slot) -> List.iter (fun k -> k ()) (List.rev !slot))
+         order)
+
+let process_batch t evs =
+  let rec go section evs =
+    match evs with
+    | [] -> run_section t (List.rev section)
+    | (ev : event) :: rest ->
+      if not (Hashtbl.mem t.live ev.seq) then go section rest (* compacted *)
+      else if ev.cancelled then begin
+        (* same silent retirement as [fire]'s cancelled branch *)
+        Hashtbl.remove t.live ev.seq;
+        t.cancelled_pending <- t.cancelled_pending - 1;
+        go section rest
+      end
+      else if ev.site >= 0 then go (ev :: section) rest
+      else begin
+        (* untagged: a barrier — finish the tagged run, then fire it here *)
+        run_section t (List.rev section);
+        Hashtbl.remove t.live ev.seq;
+        ev.action ();
+        go [] rest
+      end
   in
-  let in_horizon tm =
-    match until with Some u -> tm <= u | None -> true
-  in
+  go [] evs
+
+let run_parallel t =
   let rec loop () =
-    if continue () then
-      match next_time t with
-      | Some tm when in_horizon tm ->
-        if step t then begin
-          incr fired;
-          loop ()
-        end
-      | _ -> ()
+    match next_time t with
+    | None -> ()
+    | Some tm ->
+      if tm > t.clock then t.clock <- tm;
+      let rec collect acc =
+        match qpeek t with
+        | Some ev when ev.time = tm ->
+          ignore (qpop t);
+          collect (ev :: acc)
+        | _ -> acc
+      in
+      let evs =
+        List.sort (fun a b -> compare a.seq b.seq) (collect [])
+      in
+      process_batch t evs;
+      loop ()
   in
   loop ()
+
+let run ?until ?max_events t =
+  if
+    t.domains > 1 && until = None && max_events = None && t.chooser = None
+    && t.tracer = None
+    && not t.serial_only
+  then run_parallel t
+  else begin
+    let fired = ref 0 in
+    let continue () =
+      match max_events with Some m -> !fired < m | None -> true
+    in
+    let in_horizon tm =
+      match until with Some u -> tm <= u | None -> true
+    in
+    let rec loop () =
+      if continue () then
+        match next_time t with
+        | Some tm when in_horizon tm ->
+          if step t then begin
+            incr fired;
+            loop ()
+          end
+        | _ -> ()
+    in
+    loop ()
+  end

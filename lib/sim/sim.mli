@@ -13,7 +13,17 @@
     with [DTX_SIM_QUEUE=heap], read at {!create}) dispatch in the same
     (time, seq) total order, so the backend choice cannot change a trace.
     Setting [DTX_SIM_DEBUG=1] enables queue/live-table consistency
-    assertions after each cancelled-entry compaction. *)
+    assertions after each cancelled-entry compaction.
+
+    {b Parallel ticks.} With [DTX_DOMAINS=n] (n > 1, read at {!create}) and
+    no chooser, tracer, horizon or event cap installed, {!run} executes each
+    batch of equal-timestamp events in parallel across a fixed domain pool:
+    events tagged with a [?site] are partitioned by site and run
+    concurrently, while untagged events act as in-batch barriers and run
+    serially in sequence order. Site-tagged actions defer every shared
+    effect — schedules and anything routed through {!defer} — into
+    per-event buffers that replay on the main domain in global sequence
+    order, so a parallel run is byte-identical to the serial one. *)
 
 type t
 
@@ -26,13 +36,39 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time (ms). *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> event_id
+val schedule : t -> ?site:int -> delay:float -> (unit -> unit) -> event_id
 (** [schedule sim ~delay f] runs [f] at [now sim +. delay]. [delay] must be
-    non-negative. @raise Invalid_argument on a negative delay. *)
+    non-negative. [?site] (default [-1] = unpartitioned) tags the event as
+    touching only that site's state, making it eligible for parallel
+    execution within its tick; tag an event {e only} if its action confines
+    its writes to site-local state and routes shared effects through the
+    simulator (schedules are deferred automatically, other effects via
+    {!defer}). When called from a worker domain during a parallel section
+    the schedule itself is deferred and the returned id is a [-1] sentinel
+    ({!cancel} on it is a no-op). @raise Invalid_argument on a negative
+    delay. *)
 
-val schedule_at : t -> time:float -> (unit -> unit) -> event_id
+val schedule_at : t -> ?site:int -> time:float -> (unit -> unit) -> event_id
 (** [schedule_at sim ~time f] runs [f] at absolute [time] (clamped to [now] if
-    in the past). *)
+    in the past). [?site] as in {!schedule}. *)
+
+val defer : (unit -> unit) -> bool
+(** [defer f] appends [f] to the executing event's effect buffer when called
+    from a site-tagged action running on a worker domain during a parallel
+    section, returning [true]; the buffered thunks replay on the main domain
+    in global sequence order after the section joins. Outside a parallel
+    section it returns [false] and the caller must perform the effect
+    immediately ([if not (Sim.defer f) then f ()]). Shared-state mutations
+    reachable from site-tagged actions (network dispatch, pending-table
+    upkeep) must route through this to keep parallel runs byte-identical. *)
+
+val set_serial_only : t -> bool -> unit
+(** [set_serial_only sim true] forces the serial dispatch loop even when
+    [DTX_DOMAINS > 1] — for consumers that observe raw execution order
+    outside the simulator (e.g. history recording). Default [false]. *)
+
+val domains : t -> int
+(** Domain count read from [DTX_DOMAINS] at {!create} (default 1). *)
 
 val cancel : t -> event_id -> unit
 (** [cancel sim id] prevents a pending event from firing; cancelling an
@@ -62,7 +98,10 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     clock passes [until], or [max_events] events have fired. The clock ends at
     the last processed event's time. With a {!set_chooser} hook installed,
     [until] bounds the {e earliest} pending event (the chooser may still fire
-    a later one) and "timestamp order" becomes whatever the chooser picks. *)
+    a later one) and "timestamp order" becomes whatever the chooser picks.
+    The parallel tick path (see module docs) engages only on the
+    unrestricted form [run sim] — any of [until], [max_events], a chooser, a
+    tracer or {!set_serial_only} falls back to the serial loop. *)
 
 val step : t -> bool
 (** [step sim] processes exactly one event; [false] if the queue was empty. *)

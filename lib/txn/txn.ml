@@ -13,6 +13,9 @@ type op_record = {
   op_index : int;
   doc : string;
   op : Op.t;
+  op_text : string;
+      (* canonical Op.to_string rendering, computed once at creation so
+         shipment building and wire sizing never re-render the operation *)
   mutable executed : bool;
   mutable executed_sites : int list;
 }
@@ -36,7 +39,8 @@ let create ~id ~client ~coordinator ops =
     Array.of_list
       (List.mapi
          (fun i (doc, op) ->
-           { op_index = i; doc; op; executed = false; executed_sites = [] })
+           { op_index = i; doc; op; op_text = Op.to_string op;
+             executed = false; executed_sites = [] })
          ops)
   in
   { id; client; coordinator; ops; status = Active; next_op = 0;

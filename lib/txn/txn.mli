@@ -21,6 +21,9 @@ type op_record = {
   op_index : int;
   doc : string;  (** document the operation addresses *)
   op : Dtx_update.Op.t;
+  op_text : string;
+      (** canonical [Op.to_string] rendering, precomputed at {!create} so
+          shipment building and wire sizing never re-render the operation *)
   mutable executed : bool;
   mutable executed_sites : int list;  (** sites where effects were applied *)
 }

@@ -1,0 +1,93 @@
+(* A tiny fixed worker pool over OCaml 5 domains. One batch runs at a time:
+   the submitting (main) domain publishes an array of jobs, workers and the
+   submitter itself pull indices off a shared counter under [lock], and the
+   submitter returns when every job finished. Domains are spawned lazily on
+   first use and kept for the life of the process (they park in
+   [Condition.wait] between batches; process exit reaps them). *)
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* wakes parked workers when a batch is published *)
+  done_ : Condition.t;  (* wakes the submitter when the batch drains *)
+  mutable jobs : (unit -> unit) array;
+  mutable next : int;  (* next unclaimed job index *)
+  mutable unfinished : int;  (* jobs claimed or unclaimed but not yet done *)
+  mutable generation : int;  (* batch counter; workers park until it moves *)
+  mutable exn : (exn * Printexc.raw_backtrace) option;  (* first failure *)
+  mutable spawned : int;
+}
+
+let create () =
+  { lock = Mutex.create ();
+    work = Condition.create ();
+    done_ = Condition.create ();
+    jobs = [||];
+    next = 0;
+    unfinished = 0;
+    generation = 0;
+    exn = None;
+    spawned = 0 }
+
+(* Claim and run jobs until the current batch has none left. Called with
+   [lock] held; returns with [lock] held. *)
+let drain t =
+  while t.next < Array.length t.jobs do
+    let i = t.next in
+    t.next <- i + 1;
+    Mutex.unlock t.lock;
+    (try t.jobs.(i) ()
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock t.lock;
+       if t.exn = None then t.exn <- Some (e, bt);
+       Mutex.unlock t.lock);
+    Mutex.lock t.lock;
+    t.unfinished <- t.unfinished - 1;
+    if t.unfinished = 0 then Condition.broadcast t.done_
+  done
+
+let worker t =
+  let rec loop gen =
+    Mutex.lock t.lock;
+    while t.generation = gen do
+      Condition.wait t.work t.lock
+    done;
+    let gen = t.generation in
+    drain t;
+    Mutex.unlock t.lock;
+    loop gen
+  in
+  loop 0
+
+let ensure_workers t n =
+  while t.spawned < n do
+    t.spawned <- t.spawned + 1;
+    ignore (Domain.spawn (fun () -> worker t))
+  done
+
+(* Run every job, using up to [workers] extra domains plus the calling one.
+   Jobs may run in any order and must not touch shared mutable state. The
+   first exception a job raised is re-raised here after the whole batch
+   drained. *)
+let run t ~workers jobs =
+  if Array.length jobs > 0 then begin
+    Mutex.lock t.lock;
+    ensure_workers t (min workers (Array.length jobs - 1));
+    t.jobs <- jobs;
+    t.next <- 0;
+    t.unfinished <- Array.length jobs;
+    t.exn <- None;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    drain t;
+    while t.unfinished > 0 do
+      Condition.wait t.done_ t.lock
+    done;
+    t.jobs <- [||];
+    let failed = t.exn in
+    t.exn <- None;
+    Mutex.unlock t.lock;
+    match failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end

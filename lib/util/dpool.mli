@@ -1,0 +1,19 @@
+(** A minimal reusable worker pool over OCaml 5 domains.
+
+    Built for the simulator's parallel tick: one batch of independent jobs
+    at a time, submitted from a single (main) domain which also works the
+    batch itself. Worker domains spawn lazily on first use — a pool that
+    never runs a batch costs one record — and then park between batches for
+    the life of the process. *)
+
+type t
+
+val create : unit -> t
+
+val run : t -> workers:int -> (unit -> unit) array -> unit
+(** [run t ~workers jobs] executes every job and returns once all finished,
+    distributing them over the calling domain plus up to [workers] pooled
+    domains (spawning only as many as the batch can use). Jobs must be
+    mutually independent: they may run concurrently and in any order. If a
+    job raised, the first such exception is re-raised after the batch
+    drains. Not reentrant: only one [run] (from one domain) at a time. *)

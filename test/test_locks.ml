@@ -428,6 +428,70 @@ let prop_differential_vs_oracle =
           step_ok && Table.lock_count t = Oracle.lock_count o)
         cmds)
 
+(* Differential for the batched [acquire_all] rewrite: drive a second table
+   through the verbatim per-request loop — conflicts collected one request
+   at a time against the pre-batch state via the public [holders] view, then
+   grants issued as singleton [acquire_all] calls — and require behavioural
+   equality on every step of a random acquire/release/undo trace. Runs under
+   whatever DTX_LOCK_SHARDS the process was started with, so the make-check
+   gate exercises both shard counts {1, 64}. *)
+let per_request_acquire_all t ~txn requests =
+  let blockers =
+    List.concat_map
+      (fun (r, mode) ->
+        List.filter_map
+          (fun (htxn, hmode) ->
+            if htxn <> txn && not (Mode.compatible hmode mode) then Some htxn
+            else None)
+          (Table.holders t r))
+      requests
+  in
+  match List.sort_uniq compare blockers with
+  | [] ->
+    List.iter
+      (fun req ->
+        match Table.acquire_all t ~txn [ req ] with
+        | Ok () -> ()
+        | Error _ -> Alcotest.fail "singleton grant conflicted after check")
+      requests;
+    Ok ()
+  | bs -> Error bs
+
+let prop_batched_vs_per_request =
+  QCheck.Test.make
+    ~name:"batched acquire_all behaves like the per-request loop" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 40) cmd_gen)
+    (fun cmds ->
+      let batched = Table.create () in
+      let looped = Table.create () in
+      List.for_all
+        (fun (sel, txn, reqs) ->
+          let rs = List.map (fun q -> (table_res q, mode_of q)) reqs in
+          let step_ok =
+            match sel with
+            | 0 | 1 -> (
+              match
+                ( Table.acquire_all batched ~txn rs,
+                  per_request_acquire_all looped ~txn rs )
+              with
+              | Ok (), Ok () -> true
+              | Error a, Error b -> a = b
+              | _ -> false)
+            | 2 ->
+              Table.release_request batched ~txn rs;
+              Table.release_request looped ~txn rs;
+              true
+            | _ ->
+              let fa = Table.release_txn batched ~txn |> List.sort compare in
+              let fb = Table.release_txn looped ~txn |> List.sort compare in
+              fa = fb
+          in
+          step_ok
+          && Table.lock_count batched = Table.lock_count looped
+          && List.sort compare (Table.locks_of batched ~txn)
+             = List.sort compare (Table.locks_of looped ~txn))
+        cmds)
+
 (* --- Wfg ----------------------------------------------------------------- *)
 
 let test_wfg_edges () =
@@ -644,7 +708,8 @@ let () =
           Alcotest.test_case "blockers sorted" `Quick test_multiple_blockers_sorted;
           Alcotest.test_case "doc namespaces" `Quick test_resources_namespaced_by_doc;
           QCheck_alcotest.to_alcotest prop_release_after_acquire_empty;
-          QCheck_alcotest.to_alcotest prop_differential_vs_oracle ] );
+          QCheck_alcotest.to_alcotest prop_differential_vs_oracle;
+          QCheck_alcotest.to_alcotest prop_batched_vs_per_request ] );
       ( "wfg",
         [ Alcotest.test_case "edges" `Quick test_wfg_edges;
           Alcotest.test_case "no cycle" `Quick test_wfg_no_cycle;

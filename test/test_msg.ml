@@ -28,7 +28,7 @@ let msg_equal a b =
 
 let ship ?(index = 0) doc text =
   match Op.parse text with
-  | Ok op -> { Msg.s_index = index; s_doc = doc; s_op = op }
+  | Ok op -> Msg.shipment ~index ~doc op
   | Error e -> Alcotest.failf "bad op %S: %s" text e
 
 (* One representative value per constructor — every tag byte and field
@@ -142,6 +142,22 @@ let test_batched_shipment_smaller_than_singles () =
     (Printf.sprintf "batched (%dB) < singles (%dB)" batched singles)
     true (batched < singles)
 
+(* [size] is computed arithmetically (no encoding) on the dispatch hot
+   path; pin it to the ground truth for every constructor. *)
+let test_size_matches_encoding () =
+  List.iter
+    (fun m ->
+      let payload =
+        match m with
+        | Msg.Op_status { result_bytes; _ } -> result_bytes
+        | _ -> 0
+      in
+      check_int
+        (Format.asprintf "size %a" Msg.pp m)
+        (String.length (Msg.encode m) + payload)
+        (Msg.size m))
+    samples
+
 let test_decode_rejects_garbage () =
   let expect_error label s =
     match Msg.decode s with
@@ -177,7 +193,9 @@ let () =
         [ Alcotest.test_case "result payload charged" `Quick
             test_size_includes_result_payload;
           Alcotest.test_case "batching compresses" `Quick
-            test_batched_shipment_smaller_than_singles ] );
+            test_batched_shipment_smaller_than_singles;
+          Alcotest.test_case "arithmetic size matches encoding" `Quick
+            test_size_matches_encoding ] );
       ( "robustness",
         [ Alcotest.test_case "garbage rejected" `Quick
             test_decode_rejects_garbage ] ) ]
