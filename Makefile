@@ -6,11 +6,11 @@
 	bench-scale bench-scale-smoke bench-parallel bench-parallel-smoke \
 	ablation-identical analyze analyze-smoke \
 	analyze-mutations chaos chaos-smoke explore explore-smoke \
-	explore-mutations clean
+	explore-mutations lint race-smoke race-mutations clean
 
 check: build test test-locks-unsharded bench-smoke bench-scale-smoke \
 	bench-parallel-smoke analyze-smoke chaos-smoke \
-	explore-smoke ablation-identical
+	explore-smoke lint race-smoke ablation-identical
 
 build:
 	dune build
@@ -139,6 +139,41 @@ explore-mutations:
 	! dune exec bin/dtx_cli.exe -- explore --scenario ref --mutate skip-release
 	! dune exec bin/dtx_cli.exe -- explore --scenario ref --two-phase \
 	  --mutate commit-reorder
+
+# Static effect-discipline lint: every module-level mutable static
+# reachable from the parallel tick must be defer-routed, domain-local or
+# justified in lib/race/race_allowlist (stale entries fail too).
+lint:
+	dune exec bin/dtx_cli.exe -- lint
+
+# Dynamic race detector over the real workloads: chaos, explore and a
+# scale run under DTX_RACE=1 with a 4-domain parallel tick must report
+# zero findings, and the detector must not perturb the output (the scale
+# run is cmp'd against a detector-off run of the same configuration).
+race-smoke:
+	DTX_RACE=1 DTX_DOMAINS=4 dune exec bin/dtx_cli.exe -- chaos --smoke \
+	  > _build/race_chaos.out
+	DTX_RACE=1 DTX_DOMAINS=4 dune exec bin/dtx_cli.exe -- explore \
+	  --scenario ref > _build/race_explore.out
+	DTX_RACE=1 DTX_DOMAINS=4 dune exec bin/dtx_cli.exe -- scale --sites 50 \
+	  --clients 200 --no-timing > _build/race_scale.out
+	DTX_DOMAINS=4 dune exec bin/dtx_cli.exe -- scale --sites 50 \
+	  --clients 200 --no-timing > _build/race_scale_off.out
+	cmp _build/race_scale.out _build/race_scale_off.out
+
+# Seeded races both layers must catch. The dynamic harness bypasses
+# Sim.defer for one effect kind on a worker domain; the lint variants
+# inject fixture modules whose site-tagged closures mutate statics
+# directly (or drop the allowlist). `!` inverts: this target fails if
+# any seeded race slips through.
+race-mutations:
+	! dune exec bin/dtx_cli.exe -- race --mutate direct-send
+	! dune exec bin/dtx_cli.exe -- race --mutate undeferred-counter
+	! dune exec bin/dtx_cli.exe -- race --mutate cross-domain-intern
+	! dune exec bin/dtx_cli.exe -- lint --mutate un-deferred-send
+	! dune exec bin/dtx_cli.exe -- lint --mutate un-deferred-counter
+	! dune exec bin/dtx_cli.exe -- lint --mutate cross-domain-intern
+	! dune exec bin/dtx_cli.exe -- lint --mutate drop-allowlist
 
 clean:
 	dune clean

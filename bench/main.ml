@@ -510,6 +510,9 @@ let ablation () =
     [ 1; 2; 3 ]
 
 let () =
+  (* Sweeps spin up the domain pool many times over; join the parked
+     workers on every exit path instead of leaking them to process reap. *)
+  at_exit Dtx_sim.Sim.shutdown_pool;
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
   let smoke = List.mem "smoke" args in

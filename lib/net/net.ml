@@ -1,5 +1,6 @@
 module Sim = Dtx_sim.Sim
 module Rng = Dtx_util.Rng
+module Race = Dtx_race.Race
 
 module Config = struct
   type t = {
@@ -78,6 +79,12 @@ type t = {
      (and to whom). Entries retire when the delivery event fires — including
      copies a mid-flight partition then swallows. *)
   pending : (Sim.event_id, delivery) Hashtbl.t;
+  (* Shadow cells for DTX_RACE=1: the traffic counters + loss RNG as one
+     unit, and the pending table as another. Clean code never touches
+     either from inside a parallel section — [send]/[dispatch]/retire all
+     defer — so any in-epoch access is a discipline violation. *)
+  race_counters : Race.cell;
+  race_pending : Race.cell;
 }
 
 let of_config ~sim (c : Config.t) =
@@ -98,7 +105,9 @@ let of_config ~sim (c : Config.t) =
     tracer = None;
     fault = None;
     site_hint = None;
-    pending = Hashtbl.create 16 }
+    pending = Hashtbl.create 16;
+    race_counters = Race.cell "Net.counters";
+    race_pending = Race.cell "Net.pending" }
 
 let set_handler t h = t.handler <- Some h
 
@@ -118,6 +127,7 @@ let lossy_drop t ~src ~dst channel =
   src <> dst && channel = Unreliable && t.drop_pct > 0 && Rng.pct t.rng t.drop_pct
 
 let send_now t ~src ~dst ~bytes ~channel k =
+  Race.write ~ctx:"Net.send_now" t.race_counters;
   let delay = latency t ~src ~dst ~bytes in
   if src <> dst then begin
     t.messages <- t.messages + 1;
@@ -134,6 +144,7 @@ let send t ~src ~dst ~bytes ?(channel = Reliable) k =
   if not (Sim.defer go) then go ()
 
 let dispatch_now t ~src ~dst ~channel msg =
+  Race.write ~ctx:"Net.dispatch_now" t.race_counters;
   let h =
     match t.handler with
     | Some h -> h
@@ -152,6 +163,7 @@ let dispatch_now t ~src ~dst ~channel msg =
    | Some tr -> tr ~src ~dst Send msg
    | None -> ());
   let count_drop () =
+    Race.write ~ctx:"Net.count_drop" t.race_counters;
     t.dropped <- t.dropped + 1;
     t.dropped_by_kind.(i) <- t.dropped_by_kind.(i) + 1;
     match t.tracer with
@@ -197,12 +209,16 @@ let dispatch_now t ~src ~dst ~channel msg =
             (match !id with
              | Some seq ->
                (* the pending table is shared across sites *)
-               let retire () = Hashtbl.remove t.pending seq in
+               let retire () =
+                 Race.write ~ctx:"Net.pending.retire" t.race_pending;
+                 Hashtbl.remove t.pending seq
+               in
                if not (Sim.defer retire) then retire ()
              | None -> ());
             body ())
       in
       id := Some seq;
+      Race.write ~ctx:"Net.pending.add" t.race_pending;
       Hashtbl.replace t.pending seq { d_src = src; d_dst = dst; d_msg = msg }
     in
     match t.fault with
@@ -232,6 +248,7 @@ let dispatch t ~src ~dst ?(channel = Reliable) msg =
   if not (Sim.defer go) then go ()
 
 let pending_deliveries t =
+  Race.read ~ctx:"Net.pending_deliveries" t.race_pending;
   Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) t.pending []
 
 let messages t = t.messages

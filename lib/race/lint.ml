@@ -1,0 +1,744 @@
+(* Effect-discipline lint over the library sources. See lint.mli.
+
+   The analysis is deliberately syntactic — compiler-libs parse trees, no
+   typing pass — because the repo's discipline is syntactic too: shared
+   statics are module-level [let]s, parallel entry points are the [~site]
+   labelled schedule calls, and the escape hatch is literally the
+   identifier [defer]. Name resolution covers exactly the idioms the code
+   base uses (top-of-file [module X = Dtx_lib.Module] aliases, same-
+   library module references, same-file submodules); anything it cannot
+   resolve is a stdlib call or a dynamic call through a value, neither of
+   which can reach a module-level static we didn't already see under its
+   own name. Over-approximation is fine — a too-reachable static lands in
+   the allowlist with a justification; silent under-reporting of the
+   patterns the repo actually uses is what the seeded --mutate fixtures
+   guard against. *)
+
+module L = Longident
+
+(* ---------------------------------------------------------------- model *)
+
+type cls =
+  | Mut  (* plain mutable state: needs proof of main-onlyness or an entry *)
+  | Sync  (* Mutex/Condition: synchronisation primitive, safe to share *)
+  | Dls  (* Domain.DLS key: per-domain by construction *)
+
+type static_info = {
+  s_display : string;
+  s_loc : string;
+  s_cls : cls;
+  mutable s_par : bool;
+  mutable s_witness : string;  (* what made it parallel-reachable *)
+  mutable s_allowed : string option;  (* justification, if allowlisted *)
+}
+
+type fn_info = {
+  f_display : string;
+  mutable f_calls : string list;  (* resolved callee keys *)
+  mutable f_uses : string list;  (* resolved static keys *)
+}
+
+(* Keys are "<dir>/<Module>[.<Sub>].<name>"; display names swap the dir
+   for the capitalised dune library name ("locks/Table.last_doc" ->
+   "Dtx_locks.Table.last_doc"). *)
+type env = {
+  fns : (string, fn_info) Hashtbl.t;
+  statics : (string, static_info) Hashtbl.t;
+  root : fn_info;  (* synthetic node: edges from every parallel region *)
+  lib_dirs : (string, string) Hashtbl.t;  (* lowercased libname -> dir *)
+  dir_libs : (string, string) Hashtbl.t;  (* dir -> libname *)
+  dir_modules : (string, string list) Hashtbl.t;  (* dir -> [Module] *)
+}
+
+(* Per-file resolution state, rebuilt identically in both passes. *)
+type fctx = {
+  env : env;
+  dir : string;
+  modpath : string list;  (* [Module; Sub; ...] enclosing module path *)
+  aliases : (string, string) Hashtbl.t;  (* local name -> key prefix *)
+  submodules : (string, unit) Hashtbl.t;  (* same-file submodule names *)
+  functor_tables : (string, unit) Hashtbl.t;  (* Hashtbl.Make-style *)
+}
+
+let key ctx path name = ctx.dir ^ "/" ^ String.concat "." (path @ [ name ])
+
+let display env k =
+  match String.index_opt k '/' with
+  | None -> k
+  | Some i ->
+      let dir = String.sub k 0 i in
+      let rest = String.sub k (i + 1) (String.length k - i - 1) in
+      let lib =
+        match Hashtbl.find_opt env.dir_libs dir with
+        | Some lib -> String.capitalize_ascii lib
+        | None -> String.capitalize_ascii dir
+      in
+      lib ^ "." ^ rest
+
+let flatten lid =
+  let rec go acc = function
+    | L.Lident s -> s :: acc
+    | L.Ldot (l, s) -> go (s :: acc) l
+    | L.Lapply (l, _) -> go acc l
+  in
+  go [] lid
+
+(* Resolve a (possibly qualified) identifier to a key, or None for
+   stdlib identifiers, locals, and anything the repo idioms don't cover. *)
+let resolve ctx parts =
+  match parts with
+  | [] -> None
+  | [ name ] ->
+      (* Unqualified: same module; inner scopes shadow outer, so try the
+         innermost enclosing module path first. *)
+      let rec try_path path =
+        let k = key ctx path name in
+        if Hashtbl.mem ctx.env.fns k || Hashtbl.mem ctx.env.statics k then
+          Some k
+        else
+          match path with
+          | [] -> None
+          | _ ->
+              try_path (List.filteri (fun i _ -> i < List.length path - 1) path)
+      in
+      try_path ctx.modpath
+  | head :: rest -> (
+      let join dir mods = Some (dir ^ "/" ^ String.concat "." mods) in
+      match Hashtbl.find_opt ctx.aliases head with
+      | Some prefix -> Some (prefix ^ "." ^ String.concat "." rest)
+      | None ->
+          if Hashtbl.mem ctx.submodules head then
+            join ctx.dir (ctx.modpath @ (head :: rest))
+          else
+            let lowered = String.lowercase_ascii head in
+            (match Hashtbl.find_opt ctx.env.lib_dirs lowered with
+            | Some dir -> ( match rest with [] -> None | mods -> join dir mods)
+            | None ->
+                let same_lib =
+                  match Hashtbl.find_opt ctx.env.dir_modules ctx.dir with
+                  | Some mods -> List.mem head mods
+                  | None -> false
+                in
+                if same_lib then join ctx.dir (head :: rest) else None))
+
+(* ------------------------------------------------ creator classification *)
+
+let mutable_makers =
+  [ "Hashtbl"; "Buffer"; "Queue"; "Stack"; "Array"; "Bytes"; "Weak";
+    "Atomic"; "Intern"; "Dpool"; "Calqueue"; "Heap" ]
+
+let creator_of ctx parts =
+  match List.rev parts with
+  | "create" :: modl :: _ when modl = "Mutex" || modl = "Condition" ->
+      Some Sync
+  | "new_key" :: "DLS" :: _ -> Some Dls
+  | name :: modl :: _
+    when (name = "create" || name = "make" || name = "init")
+         && (List.mem modl mutable_makers
+            || Hashtbl.mem ctx.functor_tables modl) ->
+      Some Mut
+  | [ "ref" ] -> Some Mut
+  | _ -> None
+
+(* Scan a static's right-hand side for state constructors; the strongest
+   class wins (a record holding a Hashtbl is mutable even if it also
+   holds a DLS key). *)
+let classify_static ctx e =
+  let found = ref None in
+  let note c =
+    found :=
+      match (!found, c) with
+      | Some Mut, _ | _, Mut -> Some Mut
+      | Some Dls, _ | _, Dls -> Some Dls
+      | _ -> Some c
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply
+              ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _) -> (
+              match creator_of ctx (flatten txt) with
+              | Some c -> note c
+              | None -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------ body scans *)
+
+let last = function [] -> "" | parts -> List.nth parts (List.length parts - 1)
+
+(* Names of local thunks handed to [defer] anywhere in this body. Their
+   definitions (and the immediate-path [go ()] fallback calls) run on the
+   main domain or replay there after the barrier, so the scan skips the
+   bindings wholesale. *)
+let deferred_thunks body =
+  let names = Hashtbl.create 4 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_apply
+              ({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, args)
+            when last (flatten txt) = "defer" ->
+              List.iter
+                (fun (_, (a : Parsetree.expression)) ->
+                  match a.pexp_desc with
+                  | Parsetree.Pexp_ident { txt = L.Lident n; _ } ->
+                      Hashtbl.replace names n ()
+                  | _ -> ())
+                args
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body;
+  names
+
+let is_function_expr (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ -> true
+  | _ -> false
+
+(* Walk one top-level function body, attributing call/use edges to [fn] —
+   or to the synthetic parallel root while inside a closure passed to a
+   [~site]-labelled schedule call. *)
+let scan_body ctx fn body =
+  let suppressed = deferred_thunks body in
+  let in_par = ref false in
+  let target () = if !in_par then ctx.env.root else fn in
+  let note_ident lid =
+    match resolve ctx (flatten lid) with
+    | None -> ()
+    | Some k ->
+        let t = target () in
+        if Hashtbl.mem ctx.env.fns k then t.f_calls <- k :: t.f_calls;
+        if Hashtbl.mem ctx.env.statics k then t.f_uses <- k :: t.f_uses
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_ident { txt; _ } -> note_ident txt
+          | Parsetree.Pexp_apply
+              (({ pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ } as head),
+               args) -> (
+              match last (flatten txt) with
+              | "defer" ->
+                  (* The thunk replays on the main domain: skip the whole
+                     application (named thunks were already collected). *)
+                  ()
+              | ("schedule" | "schedule_at")
+                when List.exists
+                       (fun (l, _) -> l = Asttypes.Labelled "site")
+                       args ->
+                  (* A site-tagged event action: its closure may run on a
+                     worker domain, so everything inside is parallel. *)
+                  self.expr self head;
+                  List.iter
+                    (fun (_, (a : Parsetree.expression)) ->
+                      if is_function_expr a then begin
+                        let saved = !in_par in
+                        in_par := true;
+                        self.expr self a;
+                        in_par := saved
+                      end
+                      else self.expr self a)
+                    args
+              | _ -> Ast_iterator.default_iterator.expr self e)
+          | Parsetree.Pexp_let (_, vbs, cont) ->
+              List.iter
+                (fun (vb : Parsetree.value_binding) ->
+                  let skip =
+                    match vb.pvb_pat.ppat_desc with
+                    | Parsetree.Ppat_var { txt = n; _ } ->
+                        Hashtbl.mem suppressed n
+                    | _ -> false
+                  in
+                  if not skip then self.expr self vb.pvb_expr)
+                vbs;
+              self.expr self cont
+          | _ -> Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
+(* ------------------------------------------------------------- file walk *)
+
+let rec unwrap_constraint (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Parsetree.Pexp_constraint (e', _) -> unwrap_constraint e'
+  | _ -> e
+
+let binding_name (vb : Parsetree.value_binding) =
+  match vb.pvb_pat.ppat_desc with
+  | Parsetree.Ppat_var { txt = name; _ }
+  | Parsetree.Ppat_constraint
+      ({ ppat_desc = Parsetree.Ppat_var { txt = name; _ }; _ }, _) ->
+      Some name
+  | _ -> None
+
+(* Record a [module X = ...] item into the file context; shared by both
+   passes so resolution is identical. Returns the substructure to recurse
+   into, if any. *)
+let module_binding ctx name (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Parsetree.Pmod_ident { txt; _ } ->
+      (match resolve ctx (flatten txt) with
+      | Some k -> Hashtbl.replace ctx.aliases name k
+      | None -> (
+          (* alias straight to another library's module, e.g.
+             [module Sim = Dtx_sim.Sim] *)
+          match flatten txt with
+          | head :: (_ :: _ as rest) -> (
+              match
+                Hashtbl.find_opt ctx.env.lib_dirs (String.lowercase_ascii head)
+              with
+              | Some dir ->
+                  Hashtbl.replace ctx.aliases name
+                    (dir ^ "/" ^ String.concat "." rest)
+              | None -> ())
+          | _ -> ()));
+      None
+  | Parsetree.Pmod_structure sub ->
+      Hashtbl.replace ctx.submodules name ();
+      Some sub
+  | Parsetree.Pmod_apply _ ->
+      (* Hashtbl.Make-style functor instantiation: its [create] makes
+         mutable state. *)
+      Hashtbl.replace ctx.functor_tables name ();
+      None
+  | _ -> None
+
+(* Pass 1: register every top-level function and mutable static, so
+   cross-file references resolve regardless of file order. *)
+let rec register_structure ctx items = List.iter (register_item ctx) items
+
+and register_item ctx (item : Parsetree.structure_item) =
+  match item.pstr_desc with
+  | Parsetree.Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ }
+    -> (
+      match module_binding ctx name pmb_expr with
+      | Some sub ->
+          register_structure { ctx with modpath = ctx.modpath @ [ name ] } sub
+      | None -> ())
+  | Parsetree.Pstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          match binding_name vb with
+          | None -> ()
+          | Some name ->
+              let rhs = unwrap_constraint vb.pvb_expr in
+              let k = key ctx ctx.modpath name in
+              if is_function_expr rhs then
+                Hashtbl.replace ctx.env.fns k
+                  { f_display = display ctx.env k; f_calls = []; f_uses = [] }
+              else (
+                match classify_static ctx rhs with
+                | None -> ()
+                | Some cls ->
+                    let loc = vb.pvb_loc.Location.loc_start in
+                    Hashtbl.replace ctx.env.statics k
+                      {
+                        s_display = display ctx.env k;
+                        s_loc =
+                          Printf.sprintf "%s:%d" loc.Lexing.pos_fname
+                            loc.Lexing.pos_lnum;
+                        s_cls = cls;
+                        s_par = false;
+                        s_witness = "";
+                        s_allowed = None;
+                      }))
+        vbs
+  | _ -> ()
+
+(* Pass 2: scan function bodies for call and use edges. *)
+let rec walk_structure ctx items = List.iter (walk_item ctx) items
+
+and walk_item ctx (item : Parsetree.structure_item) =
+  match item.pstr_desc with
+  | Parsetree.Pstr_module { pmb_name = { txt = Some name; _ }; pmb_expr; _ }
+    -> (
+      match module_binding ctx name pmb_expr with
+      | Some sub ->
+          walk_structure { ctx with modpath = ctx.modpath @ [ name ] } sub
+      | None -> ())
+  | Parsetree.Pstr_value (_, vbs) ->
+      List.iter
+        (fun (vb : Parsetree.value_binding) ->
+          match binding_name vb with
+          | None -> ()
+          | Some name ->
+              let rhs = unwrap_constraint vb.pvb_expr in
+              if is_function_expr rhs then
+                let k = key ctx ctx.modpath name in
+                match Hashtbl.find_opt ctx.env.fns k with
+                | Some fn -> scan_body ctx fn rhs
+                | None -> ())
+        vbs
+  | _ -> ()
+
+let make_fctx env dir modname =
+  {
+    env;
+    dir;
+    modpath = [ modname ];
+    aliases = Hashtbl.create 8;
+    submodules = Hashtbl.create 4;
+    functor_tables = Hashtbl.create 2;
+  }
+
+(* ---------------------------------------------------------------- inputs *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let parse_source ~fname source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf fname;
+  Parse.implementation lexbuf
+
+(* The dune stanzas in this tree are simple enough for a scanner: every
+   "(name x)" atom names a library. *)
+let lib_names_of_dune source =
+  let names = ref [] in
+  let len = String.length source in
+  let i = ref 0 in
+  while !i < len do
+    match String.index_from_opt source !i '(' with
+    | None -> i := len
+    | Some j ->
+        let rest = String.sub source j (min (len - j) 80) in
+        (try
+           Scanf.sscanf rest "(name %s@)" (fun n ->
+               names := String.trim n :: !names)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ());
+        i := j + 1
+  done;
+  List.rev !names
+
+(* The detector's own directory is excluded: its shadow state is
+   cross-domain by design, and the lint binary never runs in the tick. *)
+let excluded_dir = "race"
+
+type file = { fl_dir : string; fl_mod : string; fl_source : string }
+
+let discover_files root env =
+  let files = ref [] in
+  let dirs = Sys.readdir root in
+  Array.sort compare dirs;
+  Array.iter
+    (fun dir ->
+      let dpath = Filename.concat root dir in
+      if Sys.is_directory dpath && dir <> excluded_dir then begin
+        let dune = Filename.concat dpath "dune" in
+        (if Sys.file_exists dune then
+           match lib_names_of_dune (read_file dune) with
+           | lib :: _ ->
+               Hashtbl.replace env.dir_libs dir lib;
+               Hashtbl.replace env.lib_dirs (String.lowercase_ascii lib) dir
+           | [] -> ());
+        let mls =
+          Sys.readdir dpath |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".ml")
+          |> List.sort compare
+        in
+        Hashtbl.replace env.dir_modules dir
+          (List.map
+             (fun f -> String.capitalize_ascii (Filename.remove_extension f))
+             mls);
+        List.iter
+          (fun f ->
+            files :=
+              {
+                fl_dir = dir;
+                fl_mod = String.capitalize_ascii (Filename.remove_extension f);
+                fl_source = read_file (Filename.concat dpath f);
+              }
+              :: !files)
+          mls
+      end)
+    dirs;
+  List.rev !files
+
+(* -------------------------------------------------------------- fixtures *)
+
+(* A discipline-respecting module, linted on every run: its shared counter
+   is only ever bumped through [Sim.defer], so flagging it would be a
+   false positive — this pins the lint's precision. *)
+let good_fixture =
+  {|
+module Sim = Dtx_sim.Sim
+
+let counter = ref 0
+let bump () = incr counter
+
+let on_tick sim site =
+  Sim.schedule sim ~site ~delay:1.0 (fun () ->
+      let go () = bump () in
+      if not (Sim.defer go) then go ())
+|}
+
+let bad_fixture = function
+  | "un-deferred-send" ->
+      Some
+        {|
+module Sim = Dtx_sim.Sim
+
+let wire = Buffer.create 64
+let transmit payload = Buffer.add_string wire payload
+
+let on_tick sim site =
+  Sim.schedule sim ~site ~delay:1.0 (fun () -> transmit "payload")
+|}
+  | "un-deferred-counter" ->
+      Some
+        {|
+module Sim = Dtx_sim.Sim
+
+let counter = ref 0
+let bump () = incr counter
+
+let on_tick sim site =
+  Sim.schedule sim ~site ~delay:1.0 (fun () -> bump ())
+|}
+  | "cross-domain-intern" ->
+      Some
+        {|
+module Sim = Dtx_sim.Sim
+module Intern = Dtx_util.Intern
+
+let syms = Intern.create "fixture"
+let note name = ignore (Intern.intern syms name)
+
+let on_tick sim site =
+  Sim.schedule sim ~site ~delay:1.0 (fun () -> note "fresh-symbol")
+|}
+  | _ -> None
+
+(* ------------------------------------------------------------- allowlist *)
+
+type manifest = {
+  m_roots : string list;  (* display names of manifest root functions *)
+  m_allow : (string * string) list;  (* display name, justification *)
+}
+
+let parse_allowlist path =
+  let ic = open_in path in
+  let roots = ref [] and allow = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || line.[0] = '#' then ()
+       else
+         match String.index_opt line ' ' with
+         | None -> failwith ("race_allowlist: malformed line: " ^ line)
+         | Some i -> (
+             let kw = String.sub line 0 i in
+             let rest =
+               String.trim (String.sub line i (String.length line - i))
+             in
+             match kw with
+             | "root" -> roots := rest :: !roots
+             | "allow" -> (
+                 match String.index_opt rest ' ' with
+                 | None ->
+                     failwith
+                       ("race_allowlist: allow entry needs a justification: "
+                      ^ line)
+                 | Some j ->
+                     let name = String.sub rest 0 j in
+                     let why =
+                       String.trim (String.sub rest j (String.length rest - j))
+                     in
+                     allow := (name, why) :: !allow)
+             | _ -> failwith ("race_allowlist: unknown keyword: " ^ kw))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  { m_roots = List.rev !roots; m_allow = List.rev !allow }
+
+(* ------------------------------------------------------------------- run *)
+
+let run ?(ppf = Format.std_formatter) ~root ~allowlist ~mutate () =
+  let env =
+    {
+      fns = Hashtbl.create 512;
+      statics = Hashtbl.create 64;
+      root = { f_display = "<parallel-root>"; f_calls = []; f_uses = [] };
+      lib_dirs = Hashtbl.create 32;
+      dir_libs = Hashtbl.create 32;
+      dir_modules = Hashtbl.create 32;
+    }
+  in
+  let errors = ref 0 in
+  let err fmt =
+    Format.kasprintf
+      (fun s ->
+        incr errors;
+        Format.fprintf ppf "lint: error: %s@." s)
+      fmt
+  in
+  let files = discover_files root env in
+  let fixtures =
+    { fl_dir = "fixture"; fl_mod = "Fixture_good"; fl_source = good_fixture }
+    ::
+    (match mutate with
+    | Some kind -> (
+        match bad_fixture kind with
+        | Some src ->
+            [ { fl_dir = "fixture"; fl_mod = "Fixture_bad"; fl_source = src } ]
+        | None ->
+            if kind <> "drop-allowlist" then err "unknown mutation %S" kind;
+            [])
+    | None -> [])
+  in
+  Hashtbl.replace env.dir_modules "fixture"
+    (List.map (fun f -> f.fl_mod) fixtures);
+  Hashtbl.replace env.dir_libs "fixture" "fixture";
+  let files = files @ fixtures in
+  let parsed =
+    List.filter_map
+      (fun fl ->
+        let fname = fl.fl_dir ^ "/" ^ fl.fl_mod ^ ".ml" in
+        match parse_source ~fname fl.fl_source with
+        | ast -> Some (fl, ast)
+        | exception exn ->
+            err "cannot parse %s: %s" fname (Printexc.to_string exn);
+            None)
+      files
+  in
+  List.iter
+    (fun (fl, ast) ->
+      register_structure (make_fctx env fl.fl_dir fl.fl_mod) ast)
+    parsed;
+  List.iter
+    (fun (fl, ast) -> walk_structure (make_fctx env fl.fl_dir fl.fl_mod) ast)
+    parsed;
+  let manifest =
+    match parse_allowlist allowlist with
+    | m -> m
+    | exception exn ->
+        err "%s" (Printexc.to_string exn);
+        { m_roots = []; m_allow = [] }
+  in
+  (* manifest roots: resolve display names back to keys *)
+  let fn_by_display want =
+    Hashtbl.fold
+      (fun k f acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if f.f_display = want then Some k else None)
+      env.fns None
+  in
+  let static_by_display want =
+    Hashtbl.fold
+      (fun _ s acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> if s.s_display = want then Some s else None)
+      env.statics None
+  in
+  List.iter
+    (fun r ->
+      match fn_by_display r with
+      | Some k -> env.root.f_calls <- k :: env.root.f_calls
+      | None -> err "manifest root %s matches no function" r)
+    manifest.m_roots;
+  (* reachability from the parallel root *)
+  let reached = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let mark_uses witness fn =
+    List.iter
+      (fun sk ->
+        match Hashtbl.find_opt env.statics sk with
+        | Some s when not s.s_par ->
+            s.s_par <- true;
+            s.s_witness <- witness
+        | _ -> ())
+      fn.f_uses
+  in
+  mark_uses "a ~site-tagged event closure" env.root;
+  List.iter (fun k -> Queue.add k queue) env.root.f_calls;
+  while not (Queue.is_empty queue) do
+    let k = Queue.pop queue in
+    if not (Hashtbl.mem reached k) then begin
+      Hashtbl.replace reached k ();
+      match Hashtbl.find_opt env.fns k with
+      | None -> ()
+      | Some fn ->
+          mark_uses fn.f_display fn;
+          List.iter (fun k' -> Queue.add k' queue) fn.f_calls
+    end
+  done;
+  (* allow entries are checked against the reachability verdicts: an entry
+     that names nothing, or names a static the walk no longer reaches, is
+     stale and fails the lint so the manifest cannot rot *)
+  let drop_allow = mutate = Some "drop-allowlist" in
+  List.iter
+    (fun (name, why) ->
+      match static_by_display name with
+      | None -> err "stale allowlist entry: %s matches no mutable static" name
+      | Some s ->
+          if not s.s_par then
+            err
+              "stale allowlist entry: %s is not parallel-reachable — remove \
+               it"
+              name
+          else if not drop_allow then s.s_allowed <- Some why)
+    manifest.m_allow;
+  (* verdicts *)
+  let all_statics =
+    Hashtbl.fold (fun _ s acc -> s :: acc) env.statics []
+    |> List.sort (fun a b -> compare a.s_display b.s_display)
+  in
+  let violations = ref 0 in
+  List.iter
+    (fun s ->
+      match s.s_cls with
+      | Sync ->
+          Format.fprintf ppf "lint: ok   %-36s sync primitive@." s.s_display
+      | Dls ->
+          Format.fprintf ppf "lint: ok   %-36s domain-local (DLS)@."
+            s.s_display
+      | Mut ->
+          if not s.s_par then
+            Format.fprintf ppf
+              "lint: ok   %-36s main-domain only (unreachable from parallel \
+               roots)@."
+              s.s_display
+          else (
+            match s.s_allowed with
+            | Some why ->
+                Format.fprintf ppf "lint: ok   %-36s allowlisted: %s@."
+                  s.s_display why
+            | None ->
+                incr violations;
+                Format.fprintf ppf
+                  "lint: FAIL %-36s (%s) parallel-reachable mutable static, \
+                   via %s — route it through Sim.defer or justify it in the \
+                   race_allowlist@."
+                  s.s_display s.s_loc s.s_witness))
+    all_statics;
+  Format.fprintf ppf
+    "lint: %d file(s), %d function(s), %d mutable static(s), %d \
+     parallel-reachable, %d violation(s), %d error(s)@."
+    (List.length parsed) (Hashtbl.length env.fns)
+    (Hashtbl.length env.statics)
+    (List.length (List.filter (fun s -> s.s_par) all_statics))
+    !violations !errors;
+  if !violations > 0 || !errors > 0 then 1 else 0

@@ -1,0 +1,36 @@
+(** Static effect-discipline lint for the domain-parallel tick.
+
+    Parses every [.ml] under the library root with compiler-libs,
+    inventories module-level mutable bindings (refs, [Hashtbl]/[Buffer]/
+    array/[Intern] tables created at module scope), and classifies each as
+    parallel-reachable by a call-graph walk from the {e parallel roots}:
+    every closure passed to [Sim.schedule]/[Sim.schedule_at] with a
+    [~site] label, plus the manifest roots named in the allowlist file
+    (the site-tagged message handlers). Call edges inside thunks routed
+    through [Sim.defer] are skipped — deferred thunks replay on the main
+    domain, so what they touch is serial by construction.
+
+    The lint passes iff every parallel-reachable mutable static is either
+    of a safe class (mutex/condvar, [Domain.DLS] keys) or listed in the
+    allowlist with a justification; it also fails on stale allowlist
+    entries, so the manifest cannot rot. See the [race_allowlist] file
+    format there. *)
+
+val run :
+  ?ppf:Format.formatter ->
+  root:string ->
+  allowlist:string ->
+  mutate:string option ->
+  unit ->
+  int
+(** [run ~root ~allowlist ~mutate ()] lints every library under [root]
+    (e.g. ["lib"]) against the allowlist file and returns an exit code
+    (0 = clean). [mutate] injects a seeded violation for the lint's own
+    certification: ["un-deferred-send"], ["un-deferred-counter"] and
+    ["cross-domain-intern"] each add an in-memory fixture module whose
+    site-tagged closure mutates a module-level static directly (the lint
+    must flag it — exit non-zero); ["drop-allowlist"] ignores the
+    manifest's allow entries (the repo's own justified statics must then
+    surface as violations). A well-behaved fixture that routes its effect
+    through [Sim.defer] is analyzed on every run and must never be
+    flagged, pinning the false-positive direction too. *)

@@ -1,0 +1,217 @@
+(* Epoch-based effect-discipline detector. See race.mli for the model.
+
+   The hot path (detector off, or on but outside a parallel section) is a
+   ref load plus at most two atomic loads and a DLS read — comparable to
+   the tracer hooks that already live on these paths. All bookkeeping for
+   in-epoch accesses runs under one global mutex: parallel sections fan
+   out over at most a handful of domains and the instrumented operations
+   are themselves mutex- or defer-mediated, so a single lock is not a
+   bottleneck and keeps the shadow state trivially consistent. *)
+
+type access = Read | Write
+
+type finding = {
+  f_cell : string;
+  f_epoch : int;
+  f_site_a : int;
+  f_kind_a : access;
+  f_ctx_a : string;
+  f_site_b : int;
+  f_kind_b : access;
+  f_ctx_b : string;
+}
+
+(* One side of an access pair, as remembered inside a cell. *)
+type probe = { p_site : int; p_kind : access; p_ctx : string }
+
+type cell = {
+  label : string;
+  (* Epoch the per-epoch fields below belong to; stale fields are
+     re-initialised lazily on the first access of a new epoch. *)
+  mutable c_epoch : int;
+  mutable first : probe; (* first access of the epoch *)
+  mutable other : probe option; (* first access from a second site *)
+  mutable writer : probe option; (* first write of the epoch *)
+  mutable flagged : bool; (* a finding was already recorded this epoch *)
+  mutable accesses : int; (* cumulative in-epoch accesses (hot_cells) *)
+}
+
+let enabled_flag =
+  ref (match Sys.getenv_opt "DTX_RACE" with Some "1" -> true | _ -> false)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* Epoch counter and in-section flag. Written only by the main domain at
+   the tick barrier; the barrier's own synchronisation (the pool's mutex
+   hand-off) publishes them to the workers, but Atomic keeps the
+   cross-domain reads well-defined on their own. *)
+let epoch = Atomic.make 0
+let in_par = Atomic.make false
+
+(* Site group the current domain is executing, or -1 when none. *)
+let site_key = Domain.DLS.new_key (fun () -> -1)
+
+let lock = Mutex.create ()
+let cells : cell list ref = ref [] (* registry, for hot_cells/reset *)
+let findings_rev : finding list ref = ref []
+let findings_n = ref 0
+let max_findings = 200
+
+let no_probe = { p_site = -1; p_kind = Read; p_ctx = "" }
+
+let cell label =
+  let c =
+    {
+      label;
+      c_epoch = -1;
+      first = no_probe;
+      other = None;
+      writer = None;
+      flagged = false;
+      accesses = 0;
+    }
+  in
+  Mutex.lock lock;
+  cells := c :: !cells;
+  Mutex.unlock lock;
+  c
+
+let add_finding c ep (a : probe) (b : probe) =
+  c.flagged <- true;
+  incr findings_n;
+  if !findings_n <= max_findings then
+    findings_rev :=
+      {
+        f_cell = c.label;
+        f_epoch = ep;
+        f_site_a = a.p_site;
+        f_kind_a = a.p_kind;
+        f_ctx_a = a.p_ctx;
+        f_site_b = b.p_site;
+        f_kind_b = b.p_kind;
+        f_ctx_b = b.p_ctx;
+      }
+      :: !findings_rev
+
+(* Core rule: two same-epoch accesses conflict iff they come from
+   different site groups and at least one is a write. We keep just enough
+   history per (cell, epoch) to find a conflicting partner for any new
+   access — the first access, the first access from a second site, and
+   the first write — and report the first conflicting pair only. *)
+let record kind ctx c =
+  let site = Domain.DLS.get site_key in
+  if site >= 0 && Atomic.get in_par then begin
+    let ep = Atomic.get epoch in
+    let p = { p_site = site; p_kind = kind; p_ctx = ctx } in
+    Mutex.lock lock;
+    if c.c_epoch <> ep then begin
+      c.c_epoch <- ep;
+      c.first <- p;
+      c.other <- None;
+      c.writer <- (if kind = Write then Some p else None);
+      c.flagged <- false;
+      c.accesses <- c.accesses + 1
+    end
+    else begin
+      c.accesses <- c.accesses + 1;
+      if not c.flagged then begin
+        (match kind with
+        | Write ->
+            (* Any earlier access from a different site conflicts. *)
+            if c.first.p_site <> site then add_finding c ep c.first p
+            else begin
+              match c.other with
+              | Some o -> add_finding c ep o p
+              | None -> ()
+            end
+        | Read -> (
+            (* Only an earlier write from a different site conflicts. *)
+            match c.writer with
+            | Some w when w.p_site <> site -> add_finding c ep w p
+            | _ -> ()));
+        if c.other = None && c.first.p_site <> site then c.other <- Some p;
+        if c.writer = None && kind = Write then c.writer <- Some p
+      end
+    end;
+    Mutex.unlock lock
+  end
+
+let read ?(ctx = "read") c = if !enabled_flag then record Read ctx c
+let write ?(ctx = "write") c = if !enabled_flag then record Write ctx c
+
+let epoch_begin () =
+  if !enabled_flag then begin
+    Atomic.incr epoch;
+    Atomic.set in_par true
+  end
+
+let epoch_end () = if !enabled_flag then Atomic.set in_par false
+let enter_group ~site = if !enabled_flag then Domain.DLS.set site_key site
+let leave_group () = if !enabled_flag then Domain.DLS.set site_key (-1)
+
+let findings () =
+  Mutex.lock lock;
+  let fs = List.rev !findings_rev in
+  Mutex.unlock lock;
+  fs
+
+let findings_count () = !findings_n
+
+let hot_cells () =
+  Mutex.lock lock;
+  (* Aggregate by label: instance-per-site cells (each site's lock table,
+     say) report as one line. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if c.accesses > 0 then
+        let prev = Option.value ~default:0 (Hashtbl.find_opt tbl c.label) in
+        Hashtbl.replace tbl c.label (prev + c.accesses))
+    !cells;
+  Mutex.unlock lock;
+  let hot = Hashtbl.fold (fun label n acc -> (label, n) :: acc) tbl [] in
+  List.sort (fun (la, a) (lb, b) -> compare (b, la) (a, lb)) hot
+
+let reset () =
+  Mutex.lock lock;
+  findings_rev := [];
+  findings_n := 0;
+  List.iter
+    (fun c ->
+      c.c_epoch <- -1;
+      c.first <- no_probe;
+      c.other <- None;
+      c.writer <- None;
+      c.flagged <- false;
+      c.accesses <- 0)
+    !cells;
+  Mutex.unlock lock
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+let pp_finding ppf f =
+  Format.fprintf ppf
+    "race: cell %S epoch %d: site %d %a (%s) vs site %d %a (%s)" f.f_cell
+    f.f_epoch f.f_site_a pp_access f.f_kind_a f.f_ctx_a f.f_site_b pp_access
+    f.f_kind_b f.f_ctx_b
+
+let report ppf =
+  let fs = findings () in
+  let n = findings_count () in
+  List.iter (fun f -> Format.fprintf ppf "%a@." pp_finding f) fs;
+  if n > List.length fs then
+    Format.fprintf ppf "race: ... %d further findings suppressed@."
+      (n - List.length fs);
+  (match hot_cells () with
+  | [] -> Format.fprintf ppf "race: no shared-state accesses in parallel sections@."
+  | hot ->
+      Format.fprintf ppf "race: in-epoch access concentration:@.";
+      List.iter
+        (fun (label, count) ->
+          Format.fprintf ppf "race:   %-28s %d@." label count)
+        hot);
+  Format.fprintf ppf "race: %d finding%s@." n (if n = 1 then "" else "s");
+  n = 0

@@ -1,0 +1,110 @@
+(** Dynamic effect-discipline (determinism-race) detector for the
+    domain-parallel simulator tick.
+
+    The parallel tick's byte-identical-replay guarantee rests on a
+    convention: a site-tagged event action running inside a parallel
+    section may touch only its own site's state, and must route every
+    shared-state effect through {!Dtx_sim.Sim.defer} so it replays on the
+    main domain in sequence order. This module checks that convention at
+    run time with epoch-based shadow cells — a FastTrack-style
+    happens-before detector specialised to the tick structure:
+
+    - an {e epoch} spans one parallel section (every batch of same-time
+      site-tagged events that actually fans out over the domain pool);
+      the tick barrier on either side advances it;
+    - the {e thread} of an access is the site group the executing event
+      belongs to, not the physical domain — two groups of one batch
+      {e may} run concurrently, so a same-epoch conflicting access pair
+      from different groups is a discipline violation even if the pool
+      happened to serialise them. Detection is therefore deterministic:
+      it cannot miss a race because the scheduler got lucky;
+    - two accesses to one cell conflict when they come from different
+      groups of the same epoch and at least one is a write. Reads may
+      share freely; anything performed through [Sim.defer] replays
+      outside the epoch and never conflicts.
+
+    Instrumented structures (the lock-table shards, [Net] counters and
+    pending-delivery state, the intern tables, the calendar queue, the
+    [Msg] encode buffer, [Stats] timelines) call {!read}/{!write} on
+    their shadow cells. The hooks are a single load-and-branch when the
+    detector is off ([DTX_RACE] unset), so instrumentation stays in
+    production code permanently, like the tracer hooks. *)
+
+type access = Read | Write
+
+type finding = {
+  f_cell : string;  (** label of the shadow cell both sides touched *)
+  f_epoch : int;  (** parallel section (epoch) the conflict happened in *)
+  f_site_a : int;  (** owning site of the first access's event group *)
+  f_kind_a : access;
+  f_ctx_a : string;  (** stack-side label passed by the first access *)
+  f_site_b : int;  (** owning site of the conflicting access's group *)
+  f_kind_b : access;
+  f_ctx_b : string;
+}
+
+val enabled : unit -> bool
+(** Whether the detector is recording. Initialised from [DTX_RACE=1] at
+    program start; {!set_enabled} overrides it. *)
+
+val set_enabled : bool -> unit
+(** Turn the detector on or off at run time (tests and the seeded
+    mutation harness; normal runs use the [DTX_RACE] environment
+    variable). *)
+
+(** {1 Shadow cells and hooks} *)
+
+type cell
+
+val cell : string -> cell
+(** [cell label] allocates a shadow cell. One cell stands for one unit of
+    shared mutable state (a lock-table shard, a counter block, an intern
+    table); the label names it in findings and in the {!hot_cells}
+    concentration report. Cells are cheap; allocate one per instance. *)
+
+val read : ?ctx:string -> cell -> unit
+(** Record a read of the state [cell] shadows. A no-op unless the
+    detector is enabled {e and} the caller is executing a site group
+    inside a parallel section. [?ctx] labels the access site for
+    reports. *)
+
+val write : ?ctx:string -> cell -> unit
+(** Like {!read}, for a mutation. *)
+
+(** {1 Tick wiring — called by {!Dtx_sim.Sim} only} *)
+
+val epoch_begin : unit -> unit
+(** Enter a parallel section: advances the epoch. Main-domain only. *)
+
+val epoch_end : unit -> unit
+(** Leave the parallel section. Accesses outside an epoch are ignored —
+    they are serial by construction. *)
+
+val enter_group : site:int -> unit
+(** Mark the calling domain as executing [site]'s event group until
+    {!leave_group}. Accesses with no group set are ignored. *)
+
+val leave_group : unit -> unit
+
+(** {1 Results} *)
+
+val findings : unit -> finding list
+(** Conflicts recorded since the last {!reset}, oldest first. At most one
+    finding is kept per (cell, epoch) pair — the first conflicting pair —
+    so a racy loop cannot flood the report. *)
+
+val findings_count : unit -> int
+
+val hot_cells : unit -> (string * int) list
+(** Per-cell count of accesses observed inside parallel sections, sorted
+    descending — where cross-domain sharing actually concentrates.
+    Only cells with at least one in-epoch access appear. *)
+
+val reset : unit -> unit
+(** Drop all findings and per-cell state (labels and registrations stay). *)
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val report : Format.formatter -> bool
+(** Print a summary (findings, then the {!hot_cells} concentration table)
+    and return [true] iff no findings were recorded. *)

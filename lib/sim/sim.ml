@@ -1,6 +1,7 @@
 module Heap = Dtx_util.Heap
 module Calqueue = Dtx_util.Calqueue
 module Dpool = Dtx_util.Dpool
+module Race = Dtx_race.Race
 
 type event = {
   time : float;
@@ -40,6 +41,7 @@ type t = {
   mutable chooser : (candidate list -> event_id) option;
   domains : int;  (* DTX_DOMAINS at create time; > 1 enables parallel ticks *)
   mutable serial_only : bool;  (* opt-out for history/analysis consumers *)
+  race_live : Race.cell;  (* shadows [live] + queue mutation entry points *)
 }
 
 let cmp_event a b =
@@ -79,7 +81,8 @@ let create () =
     tracer = None;
     chooser = None;
     domains;
-    serial_only = false }
+    serial_only = false;
+    race_live = Race.cell "sim.schedule" }
 
 let qpush t ev =
   match t.queue with Cal q -> Calqueue.push q ev | Bin h -> Heap.push h ev
@@ -135,6 +138,10 @@ let rec schedule_at t ?(site = -1) ~time action =
     defer (fun () -> ignore (schedule_at t ~site ~time action))
   then deferred_id
   else begin
+    (* A site-tagged action inside a parallel section can only get here by
+       bypassing [defer] (no sink installed where one should be) — exactly
+       the discipline violation the detector exists to flag. *)
+    Race.write ~ctx:"Sim.schedule_at" t.race_live;
     let time = if time < t.clock then t.clock else time in
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
@@ -190,6 +197,7 @@ let maybe_compact t =
   then compact t
 
 let cancel t id =
+  Race.write ~ctx:"Sim.cancel" t.race_live;
   match Hashtbl.find_opt t.live id with
   | Some ev when not ev.cancelled ->
     ev.cancelled <- true;
@@ -288,6 +296,10 @@ let next_time t =
    domains persist, parked between batches. Only the main domain submits. *)
 let pool = lazy (Dpool.create ())
 
+(* Join the process-wide pool's parked workers (CLI/bench exit paths). A
+   pool that never forced — serial runs — has nothing to join. *)
+let shutdown_pool () = if Lazy.is_val pool then Dpool.shutdown (Lazy.force pool)
+
 (* Execute one batch — every live event sharing the minimum timestamp — by
    splitting it, in ascending seq order, into maximal runs of site-tagged
    events separated by untagged ones. Untagged events (coordinator steps,
@@ -336,6 +348,9 @@ let run_section t section =
          Array.of_list
            (List.map
               (fun group () ->
+                let (ev0 : event), _ = List.hd group in
+                Race.enter_group ~site:ev0.site;
+                Fun.protect ~finally:Race.leave_group @@ fun () ->
                 List.iter
                   (fun ((ev : event), slot) ->
                     Domain.DLS.set sink_key (Some slot);
@@ -347,7 +362,12 @@ let run_section t section =
                   group)
               job_lists)
        in
-       Dpool.run (Lazy.force pool) ~workers:(t.domains - 1) jobs;
+       (* The epoch brackets only the fan-out: batch collection before it
+          and the deferred-effect replay after it run serially on the main
+          domain and must never produce findings. *)
+       Race.epoch_begin ();
+       Fun.protect ~finally:Race.epoch_end (fun () ->
+           Dpool.run (Lazy.force pool) ~workers:(t.domains - 1) jobs);
        List.iter
          (fun (_ev, slot) -> List.iter (fun k -> k ()) (List.rev !slot))
          order)

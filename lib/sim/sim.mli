@@ -70,6 +70,12 @@ val set_serial_only : t -> bool -> unit
 val domains : t -> int
 (** Domain count read from [DTX_DOMAINS] at {!create} (default 1). *)
 
+val shutdown_pool : unit -> unit
+(** Join the process-wide worker pool's parked domains (see
+    {!Dtx_util.Dpool.shutdown}). Call from CLI/bench exit paths; a no-op
+    when no parallel tick ever ran, and a later parallel run just
+    respawns workers. *)
+
 val cancel : t -> event_id -> unit
 (** [cancel sim id] prevents a pending event from firing; cancelling an
     already-fired or unknown event is a no-op that retains no state (a

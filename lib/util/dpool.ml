@@ -2,8 +2,10 @@
    the submitting (main) domain publishes an array of jobs, workers and the
    submitter itself pull indices off a shared counter under [lock], and the
    submitter returns when every job finished. Domains are spawned lazily on
-   first use and kept for the life of the process (they park in
-   [Condition.wait] between batches; process exit reaps them). *)
+   first use and kept until [shutdown] (they park in [Condition.wait]
+   between batches; process exit also reaps them, but a long-lived process
+   that is done with a pool — bench sweeps, tests — should join them
+   explicitly). *)
 
 type t = {
   lock : Mutex.t;
@@ -15,6 +17,8 @@ type t = {
   mutable generation : int;  (* batch counter; workers park until it moves *)
   mutable exn : (exn * Printexc.raw_backtrace) option;  (* first failure *)
   mutable spawned : int;
+  mutable stop : bool;  (* tells parked workers to exit *)
+  mutable domains : unit Domain.t list;  (* handles for [shutdown] to join *)
 }
 
 let create () =
@@ -26,7 +30,9 @@ let create () =
     unfinished = 0;
     generation = 0;
     exn = None;
-    spawned = 0 }
+    spawned = 0;
+    stop = false;
+    domains = [] }
 
 (* Claim and run jobs until the current batch has none left. Called with
    [lock] held; returns with [lock] held. *)
@@ -49,21 +55,39 @@ let drain t =
 let worker t =
   let rec loop gen =
     Mutex.lock t.lock;
-    while t.generation = gen do
+    while t.generation = gen && not t.stop do
       Condition.wait t.work t.lock
     done;
-    let gen = t.generation in
-    drain t;
-    Mutex.unlock t.lock;
-    loop gen
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      let gen = t.generation in
+      drain t;
+      Mutex.unlock t.lock;
+      loop gen
+    end
   in
   loop 0
 
 let ensure_workers t n =
   while t.spawned < n do
     t.spawned <- t.spawned + 1;
-    ignore (Domain.spawn (fun () -> worker t))
+    t.domains <- Domain.spawn (fun () -> worker t) :: t.domains
   done
+
+(* Join the parked workers. Callable only between batches (same domain as
+   [run]); idempotent, and a later [run] just respawns a fresh set. *)
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  let ds = t.domains in
+  t.domains <- [];
+  t.spawned <- 0;
+  Mutex.unlock t.lock;
+  List.iter Domain.join ds;
+  Mutex.lock t.lock;
+  t.stop <- false;
+  Mutex.unlock t.lock
 
 (* Run every job, using up to [workers] extra domains plus the calling one.
    Jobs may run in any order and must not touch shared mutable state. The

@@ -3,8 +3,8 @@
     Built for the simulator's parallel tick: one batch of independent jobs
     at a time, submitted from a single (main) domain which also works the
     batch itself. Worker domains spawn lazily on first use — a pool that
-    never runs a batch costs one record — and then park between batches for
-    the life of the process. *)
+    never runs a batch costs one record — and then park between batches
+    until {!shutdown} joins them (or the process exits). *)
 
 type t
 
@@ -17,3 +17,10 @@ val run : t -> workers:int -> (unit -> unit) array -> unit
     mutually independent: they may run concurrently and in any order. If a
     job raised, the first such exception is re-raised after the batch
     drains. Not reentrant: only one [run] (from one domain) at a time. *)
+
+val shutdown : t -> unit
+(** [shutdown t] wakes the parked worker domains and joins them. Call it
+    from the submitting domain with no batch in flight — typically a CLI
+    or bench exit path, so long sweeps don't accumulate parked domains.
+    Idempotent; the pool stays usable, a later {!run} spawns fresh
+    workers. *)

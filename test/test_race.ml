@@ -1,0 +1,296 @@
+(* Tests for the Dtx_race dynamic detector and the Dpool shutdown path.
+
+   The detector's conflict rule is group-based — two same-epoch accesses
+   conflict iff they come from different site groups and at least one is a
+   write — so the core semantics can be driven single-domain through
+   [enter_group]/[epoch_begin] directly, with real multi-domain coverage
+   layered on top via the simulator's parallel tick. *)
+
+module Race = Dtx_race.Race
+module Dpool = Dtx_util.Dpool
+module Intern = Dtx_util.Intern
+module Sim = Dtx_sim.Sim
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* Fresh detector state, detector on. Each test that flips [set_enabled]
+   restores it so suites stay independent. *)
+let with_detector f =
+  Race.set_enabled true;
+  Race.reset ();
+  Fun.protect ~finally:(fun () ->
+      Race.reset ();
+      Race.set_enabled false)
+    f
+
+(* Run [f] in group [site] within the current epoch. *)
+let as_site site f =
+  Race.enter_group ~site;
+  Fun.protect ~finally:Race.leave_group f
+
+let in_epoch f =
+  Race.epoch_begin ();
+  Fun.protect ~finally:Race.epoch_end f
+
+(* --- core semantics ------------------------------------------------------- *)
+
+let test_write_write_conflict () =
+  with_detector @@ fun () ->
+  let c = Race.cell "t.ww" in
+  in_epoch (fun () ->
+      as_site 0 (fun () -> Race.write ~ctx:"a" c);
+      as_site 1 (fun () -> Race.write ~ctx:"b" c));
+  check "one finding" 1 (Race.findings_count ());
+  match Race.findings () with
+  | [ f ] ->
+      Alcotest.(check string) "cell label" "t.ww" f.Race.f_cell;
+      check "site a" 0 f.Race.f_site_a;
+      check "site b" 1 f.Race.f_site_b
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+let test_read_write_conflict () =
+  with_detector @@ fun () ->
+  let c = Race.cell "t.rw" in
+  in_epoch (fun () ->
+      as_site 0 (fun () -> Race.read c);
+      as_site 1 (fun () -> Race.write c));
+  check "read then write flagged" 1 (Race.findings_count ());
+  Race.reset ();
+  let c = Race.cell "t.wr" in
+  in_epoch (fun () ->
+      as_site 0 (fun () -> Race.write c);
+      as_site 1 (fun () -> Race.read c));
+  check "write then read flagged" 1 (Race.findings_count ())
+
+let test_read_read_clean () =
+  with_detector @@ fun () ->
+  let c = Race.cell "t.rr" in
+  in_epoch (fun () ->
+      as_site 0 (fun () -> Race.read c);
+      as_site 1 (fun () -> Race.read c);
+      as_site 2 (fun () -> Race.read c));
+  check "concurrent reads are clean" 0 (Race.findings_count ())
+
+let test_same_site_clean () =
+  with_detector @@ fun () ->
+  let c = Race.cell "t.same" in
+  in_epoch (fun () ->
+      as_site 3 (fun () ->
+          Race.write c;
+          Race.read c;
+          Race.write c));
+  check "one group may do anything" 0 (Race.findings_count ())
+
+let test_epoch_separates () =
+  with_detector @@ fun () ->
+  let c = Race.cell "t.epoch" in
+  in_epoch (fun () -> as_site 0 (fun () -> Race.write c));
+  in_epoch (fun () -> as_site 1 (fun () -> Race.write c));
+  check "tick barrier orders the writes" 0 (Race.findings_count ())
+
+let test_outside_epoch_ignored () =
+  with_detector @@ fun () ->
+  let c = Race.cell "t.outside" in
+  (* No epoch open: main-domain accesses between ticks never count. *)
+  as_site 0 (fun () -> Race.write c);
+  as_site 1 (fun () -> Race.write c);
+  check "no epoch, no findings" 0 (Race.findings_count ());
+  (* In-epoch but no group entered: replay on the main domain is serial. *)
+  in_epoch (fun () ->
+      Race.write c;
+      Race.write c);
+  check "ungrouped accesses never count" 0 (Race.findings_count ())
+
+let test_disabled_is_noop () =
+  Race.set_enabled false;
+  Race.reset ();
+  let c = Race.cell "t.off" in
+  Race.epoch_begin ();
+  Race.enter_group ~site:0;
+  Race.write c;
+  Race.leave_group ();
+  Race.enter_group ~site:1;
+  Race.write c;
+  Race.leave_group ();
+  Race.epoch_end ();
+  check "disabled detector records nothing" 0 (Race.findings_count ())
+
+(* --- property: flagged iff the reference model says so -------------------- *)
+
+(* Reference model for one epoch over one cell: a conflict exists iff two
+   accesses come from different sites and at least one is a write. *)
+let model_has_race accesses =
+  List.exists
+    (fun (s1, k1) ->
+      List.exists
+        (fun (s2, k2) ->
+          s1 <> s2 && (k1 = Race.Write || k2 = Race.Write))
+        accesses)
+    accesses
+
+let access_gen =
+  QCheck2.Gen.(
+    list_size (1 -- 12)
+      (pair (0 -- 3) (map (fun b -> if b then Race.Write else Race.Read) bool)))
+
+let prop_flag_iff_model =
+  QCheck2.Test.make ~count:500 ~name:"flagged iff model finds a race"
+    access_gen (fun accesses ->
+      Race.set_enabled true;
+      Race.reset ();
+      let c = Race.cell "t.prop" in
+      Race.epoch_begin ();
+      List.iter
+        (fun (site, kind) ->
+          Race.enter_group ~site;
+          (match kind with
+          | Race.Write -> Race.write c
+          | Race.Read -> Race.read c);
+          Race.leave_group ())
+        accesses;
+      Race.epoch_end ();
+      let flagged = Race.findings_count () > 0 in
+      Race.reset ();
+      Race.set_enabled false;
+      flagged = model_has_race accesses)
+
+(* --- Dpool shutdown ------------------------------------------------------- *)
+
+let pool_sum pool ~jobs ~workers =
+  let acc = Array.make jobs 0 in
+  Dpool.run pool ~workers
+    (Array.init jobs (fun i () -> acc.(i) <- i + 1));
+  Array.fold_left ( + ) 0 acc
+
+let test_dpool_shutdown () =
+  let pool = Dpool.create () in
+  check "batch before shutdown" 10 (pool_sum pool ~jobs:4 ~workers:3);
+  Dpool.shutdown pool;
+  Dpool.shutdown pool;
+  (* idempotent *)
+  check "batch after shutdown respawns" 21 (pool_sum pool ~jobs:6 ~workers:3);
+  Dpool.shutdown pool;
+  (* A pool that never ran anything shuts down trivially. *)
+  let fresh = Dpool.create () in
+  Dpool.shutdown fresh
+
+let test_sim_shutdown_pool () =
+  (* The CLI exit-path hook: safe to call repeatedly, with or without a
+     parallel tick having run. *)
+  Sim.shutdown_pool ();
+  Unix.putenv "DTX_DOMAINS" "4";
+  let sim = Sim.create () in
+  let hits = Array.make 8 0 in
+  for site = 0 to 7 do
+    ignore
+      (Sim.schedule sim ~site ~delay:1.0 (fun () ->
+           let go () = hits.(site) <- hits.(site) + 1 in
+           if not (Sim.defer go) then go ()))
+  done;
+  Sim.run sim;
+  check "all sites ran" 8 (Array.fold_left ( + ) 0 hits);
+  Sim.shutdown_pool ();
+  Sim.shutdown_pool ();
+  Unix.putenv "DTX_DOMAINS" "1"
+
+(* --- the real parallel tick ----------------------------------------------- *)
+
+(* A clean 4-domain tick: every shared effect deferred, zero findings. *)
+let test_parallel_tick_clean () =
+  with_detector @@ fun () ->
+  Unix.putenv "DTX_DOMAINS" "4";
+  let sim = Sim.create () in
+  let shared = ref 0 in
+  let cell = Race.cell "t.tick.clean" in
+  for site = 0 to 7 do
+    ignore
+      (Sim.schedule sim ~site ~delay:1.0 (fun () ->
+           let go () =
+             Race.write cell;
+             incr shared
+           in
+           if not (Sim.defer go) then go ()))
+  done;
+  Sim.run sim;
+  Unix.putenv "DTX_DOMAINS" "1";
+  check "all effects replayed" 8 !shared;
+  check "deferred effects are race-free" 0 (Race.findings_count ())
+
+(* The same tick with the defer discipline broken: the shared cell is hit
+   straight from the worker domains and must be flagged, whatever order
+   the pool ran the groups in. *)
+let test_parallel_tick_undeferred () =
+  with_detector @@ fun () ->
+  Unix.putenv "DTX_DOMAINS" "4";
+  let sim = Sim.create () in
+  let cell = Race.cell "t.tick.bad" in
+  for site = 0 to 7 do
+    ignore
+      (Sim.schedule sim ~site ~delay:1.0 (fun () -> Race.write cell))
+  done;
+  Sim.run sim;
+  Unix.putenv "DTX_DOMAINS" "1";
+  checkb "un-deferred writes are flagged" true (Race.findings_count () > 0)
+
+(* Interning across a parallel tick (the satellite-2 audit): warmed-up
+   symbols may be re-interned from worker domains — the hit path is a
+   read — and every site must agree on the ids. *)
+let test_intern_parallel_hit_path () =
+  with_detector @@ fun () ->
+  Unix.putenv "DTX_DOMAINS" "4";
+  let syms = Intern.create "test-parallel" in
+  (* Warm up on the main domain, as Site.create does via preintern_doc. *)
+  let expected = Array.init 16 (fun i -> Intern.intern syms (string_of_int i)) in
+  let sim = Sim.create () in
+  let seen = Array.make_matrix 8 16 (-1) in
+  for site = 0 to 7 do
+    ignore
+      (Sim.schedule sim ~site ~delay:1.0 (fun () ->
+           for i = 0 to 15 do
+             seen.(site).(i) <- Intern.intern syms (string_of_int i)
+           done))
+  done;
+  Sim.run sim;
+  Unix.putenv "DTX_DOMAINS" "1";
+  for site = 0 to 7 do
+    for i = 0 to 15 do
+      check (Printf.sprintf "site %d symbol %d" site i) expected.(i)
+        seen.(site).(i)
+    done
+  done;
+  check "no fresh ids appeared" 16 (Intern.count syms)
+
+let () =
+  Alcotest.run "race"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "write-write conflict" `Quick
+            test_write_write_conflict;
+          Alcotest.test_case "read-write conflict" `Quick
+            test_read_write_conflict;
+          Alcotest.test_case "read-read clean" `Quick test_read_read_clean;
+          Alcotest.test_case "same site clean" `Quick test_same_site_clean;
+          Alcotest.test_case "epoch separates" `Quick test_epoch_separates;
+          Alcotest.test_case "outside epoch ignored" `Quick
+            test_outside_epoch_ignored;
+          Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_flag_iff_model ] );
+      ( "dpool",
+        [
+          Alcotest.test_case "shutdown" `Quick test_dpool_shutdown;
+          Alcotest.test_case "sim shutdown hook" `Quick test_sim_shutdown_pool;
+        ] );
+      ( "parallel-tick",
+        [
+          Alcotest.test_case "clean deferred tick" `Quick
+            test_parallel_tick_clean;
+          Alcotest.test_case "un-deferred tick flagged" `Quick
+            test_parallel_tick_undeferred;
+          Alcotest.test_case "intern hit path across tick" `Quick
+            test_intern_parallel_hit_path;
+        ] );
+    ]
