@@ -4,12 +4,13 @@
 
 .PHONY: check build test test-locks-unsharded bench bench-smoke bench-json \
 	bench-scale bench-scale-smoke bench-parallel bench-parallel-smoke \
+	bench-commute bench-commute-smoke \
 	ablation-identical analyze analyze-smoke \
 	analyze-mutations chaos chaos-smoke explore explore-smoke \
 	explore-mutations lint race-smoke race-mutations clean
 
 check: build test test-locks-unsharded bench-smoke bench-scale-smoke \
-	bench-parallel-smoke analyze-smoke chaos-smoke \
+	bench-parallel-smoke bench-commute-smoke analyze-smoke chaos-smoke \
 	explore-smoke lint race-smoke ablation-identical
 
 build:
@@ -53,6 +54,15 @@ bench-parallel:
 # Reduced curve that writes nothing — part of `make check`.
 bench-parallel-smoke:
 	dune exec bench/main.exe -- parallel smoke
+
+# Commute vs XDGL/Node2PL on contention mixes (the optimistic protocol's
+# value proposition) — writes BENCH_pr9.json.
+bench-commute:
+	dune exec bench/main.exe -- commute
+
+# One tiny mix that writes nothing — part of `make check`.
+bench-commute-smoke:
+	dune exec bench/main.exe -- commute smoke
 
 # Byte-identical ablation gate: the legacy binary-heap simulator queue and
 # an unsharded (single-shard) lock table must reproduce the default
@@ -118,17 +128,22 @@ analyze-mutations:
 # Schedule-space model checking: every inequivalent message-delivery
 # schedule of the pinned scenarios, DPOR-reduced by the static
 # commutativity analysis, with the invariant checker as oracle. Covers
-# one-phase and 2PC under XDGL and Node2PL.
+# one-phase and 2PC under XDGL, Node2PL and Commute.
 explore:
 	dune exec bin/dtx_cli.exe -- explore --scenario all
 	dune exec bin/dtx_cli.exe -- explore --scenario all --protocol node2pl
+	dune exec bin/dtx_cli.exe -- explore --scenario all --protocol commute
 	dune exec bin/dtx_cli.exe -- explore --scenario ref --two-phase
+	dune exec bin/dtx_cli.exe -- explore --scenario ref --protocol commute \
+	  --two-phase
 
 # Reference-scenario pass with the >= 2x DPOR-reduction gate — part of
 # `make check` (the gate also re-runs the naive baseline).
 explore-smoke:
 	dune exec bin/dtx_cli.exe -- explore --scenario ref --gate-reduction 2.0
 	dune exec bin/dtx_cli.exe -- explore --scenario ref --protocol node2pl \
+	  --gate-reduction 2.0
+	dune exec bin/dtx_cli.exe -- explore --scenario ref --protocol commute \
 	  --gate-reduction 2.0
 
 # Seeded protocol bugs the explorer must reach: each mutated run has to

@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- scale smoke  # tiny sweep, no file (make check)
      dune exec bench/main.exe -- parallel     # serial-vs-DTX_DOMAINS curve, write BENCH_pr7.json
      dune exec bench/main.exe -- parallel smoke # tiny curve, no file (make check)
+     dune exec bench/main.exe -- commute      # Commute vs XDGL/Node2PL mixes, write BENCH_pr9.json
+     dune exec bench/main.exe -- commute smoke # one tiny mix, no file (make check)
      dune exec bench/main.exe -- ablation     # design-choice ablations
      dune exec bench/main.exe -- fig9 export  # also write results/<fig>.csv *)
 
@@ -111,7 +113,7 @@ let microbench_results ~smoke =
             ignore (Dtx_protocol.Xdgl_rules.requests dg (Dtx_update.Op.Query q_pred)));
         (* Same derivation through Protocol.lock_requests, which memoizes on
            the DataGuide version — steady-state cache hits. *)
-        (let p = Protocol.create Protocol.Xdgl in
+        (let p = Protocol.create Protocol.xdgl in
          Protocol.add_doc p doc;
          mk "xdgl-lock-derivation-cached" (fun () ->
              ignore
@@ -213,7 +215,7 @@ let bench_json ~out () =
               n_clients r.Workload.committed throughput
               r.Workload.response.Dtx_util.Stats.mean r.Workload.deadlocks)
           [ 8; 12; 24; 48 ])
-      [ Protocol.Xdgl; Protocol.Node2pl ]
+      [ Protocol.xdgl; Protocol.node2pl ]
   in
   let field sel =
     List.filter_map
@@ -402,6 +404,138 @@ let parallel_bench ~smoke ~out () =
     Format.fprintf ppf "[wrote %s]@." out
   end
 
+(* --- Commute vs pessimistic protocols (BENCH_pr9.json) ------------------- *)
+
+(* The optimistic protocol's value proposition: on contended read-heavy
+   mixes the lock-free commuting fast path removes blocking, so throughput
+   (committed transactions per virtual second) beats XDGL; on an
+   uncontended mix it matches XDGL, since both then pay only derivation.
+   Aborted optimists are resubmitted ([retries]) — the client-side cost the
+   validation scheme trades blocking for. Each mix runs XDGL, Node2PL and
+   Commute over the same seeds and database. *)
+let commute_bench ~smoke ~out () =
+  let protocols = [ Protocol.xdgl; Protocol.node2pl; Protocol.commute ] in
+  let mixes =
+    (* (label, clients, update_txn_pct, base_size_mb) — small databases
+       concentrate the access paths, which is what drives contention. *)
+    if smoke then [ ("high-read-heavy", 24, 10, 1.0) ]
+    else
+      [ ("low-contention", 12, 20, 8.0);
+        ("high-read-heavy", 48, 10, 1.0);
+        ("high-mixed", 48, 30, 1.0) ]
+  in
+  let seeds = if smoke then [ 7 ] else [ 7; 107; 1007 ] in
+  Format.fprintf ppf "== Commute vs XDGL/Node2PL: contention mixes ==@.";
+  Format.fprintf ppf "%-16s %-9s %-10s %-16s %-10s %-10s %-9s %-9s@." "mix"
+    "protocol" "committed" "throughput(t/s)" "lockreqs" "blocked"
+    "deadlk" "validn";
+  let results = ref [] in
+  List.iter
+    (fun (label, n_clients, upd, mb) ->
+      let base =
+        { Workload.default_params with
+          n_clients; update_txn_pct = upd; base_size_mb = mb;
+          n_sites = 4;
+          txns_per_client = (if smoke then 3 else 6);
+          ops_per_txn = 4;
+          retries = 3 }
+      in
+      (* One database per (mix, seed), shared by the three protocols so
+         they race on identical data. *)
+      let databases =
+        List.map
+          (fun seed -> (seed, Workload.build_database { base with seed }))
+          seeds
+      in
+      List.iter
+        (fun protocol ->
+          let committed = ref 0 and makespan = ref 0.0 in
+          let lockreqs = ref 0 and blocked = ref 0 in
+          let deadlocks = ref 0 and validations = ref 0 in
+          List.iter
+            (fun seed ->
+              let r =
+                Workload.run
+                  ~database:(List.assoc seed databases)
+                  { base with seed; protocol }
+              in
+              committed := !committed + r.Workload.committed;
+              makespan := !makespan +. r.Workload.makespan_ms;
+              lockreqs := !lockreqs + r.Workload.lock_requests;
+              blocked := !blocked + r.Workload.blocked_ops;
+              deadlocks := !deadlocks + r.Workload.deadlocks;
+              validations := !validations + r.Workload.validation_aborts)
+            seeds;
+          let throughput =
+            if !makespan > 0.0 then
+              float_of_int !committed /. !makespan *. 1000.0
+            else 0.0
+          in
+          Format.fprintf ppf
+            "%-16s %-9s %-10d %-16.1f %-10d %-10d %-9d %-9d@." label
+            (Protocol.kind_to_string protocol)
+            !committed throughput !lockreqs !blocked !deadlocks !validations;
+          results :=
+            (label, protocol, throughput, !committed, !lockreqs, !blocked,
+             !deadlocks, !validations)
+            :: !results)
+        protocols)
+    mixes;
+  let results = List.rev !results in
+  let tp label proto =
+    List.find_map
+      (fun (l, p, t, _, _, _, _, _) ->
+        if l = label && p = proto then Some t else None)
+      results
+    |> Option.get
+  in
+  let gates =
+    List.filter_map
+      (fun (label, _, _, _) ->
+        if label = "low-contention" then None
+        else
+          Some
+            ( label,
+              tp label Protocol.commute > tp label Protocol.xdgl ))
+      mixes
+  in
+  List.iter
+    (fun (label, won) ->
+      Format.fprintf ppf "gate %-16s commute %s xdgl@." label
+        (if won then ">" else "<="))
+    gates;
+  if List.exists (fun (l, _, _, _) -> l = "low-contention") mixes then begin
+    let ratio =
+      tp "low-contention" Protocol.commute /. tp "low-contention" Protocol.xdgl
+    in
+    Format.fprintf ppf "gate low-contention  commute/xdgl = %.2f@." ratio
+  end;
+  if not smoke then begin
+    let rows =
+      List.map
+        (fun (label, proto, t, c, lr, b, d, v) ->
+          Printf.sprintf
+            "    {\"mix\": \"%s\", \"protocol\": \"%s\", \
+             \"throughput_txn_per_s\": %.3f, \"committed\": %d, \
+             \"lock_requests\": %d, \"blocked_ops\": %d, \"deadlocks\": %d, \
+             \"validation_aborts\": %d}"
+            (json_escape label)
+            (json_escape (Protocol.kind_to_string proto))
+            t c lr b d v)
+        results
+    in
+    let oc = open_out out in
+    Printf.fprintf oc
+      "{\n  \"notes\": \"Commute admits provably-commuting operations \
+       lock-free and validates at commit; contended read-heavy mixes trade \
+       blocking (and deadlocks) for validation aborts that retries absorb. \
+       Totals are summed over seeds {7, 107, 1007} on a shared database \
+       per mix.\",\n  \"commute_mixes\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" rows);
+    close_out oc;
+    Format.fprintf ppf "[wrote %s]@." out
+  end
+
 (* --- Ablations ---------------------------------------------------------- *)
 
 let ablation () =
@@ -425,8 +559,8 @@ let ablation () =
       Format.fprintf ppf "%-12s %-12.1f %-14d %-10d %-12d@."
         (Protocol.kind_to_string kind) r.Workload.response.Dtx_util.Stats.mean
         r.Workload.deadlocks r.Workload.committed r.Workload.lock_requests)
-    [ Protocol.Xdgl; Protocol.Node2pl; Protocol.Doc2pl; Protocol.Tadom;
-      Protocol.Xdgl_value ];
+    [ Protocol.xdgl; Protocol.node2pl; Protocol.doc2pl; Protocol.tadom;
+      Protocol.xdgl_value ];
   Format.fprintf ppf "@.== Ablation: client retries after abort ==@.";
   Format.fprintf ppf "%-10s %-12s %-12s %-14s@." "retries" "committed"
     "not-exec" "makespan(ms)";
@@ -442,7 +576,7 @@ let ablation () =
       let a = Workload.run_many p in
       Format.fprintf ppf "%-22s %a@." label Workload.pp_aggregate a)
     [ ("XDGL/20%upd", base);
-      ("Node2PL/20%upd", { base with protocol = Protocol.Node2pl });
+      ("Node2PL/20%upd", { base with protocol = Protocol.node2pl });
       ("XDGL/40%upd", { base with update_txn_pct = 40 }) ];
   Format.fprintf ppf "@.== Ablation: deadlock policy (paper future work: deadlock study) ==@.";
   Format.fprintf ppf "%-12s %-12s %-14s %-12s %-10s@." "policy" "mean(ms)"
@@ -522,7 +656,7 @@ let () =
       (fun a ->
         a <> "quick" && a <> "summary" && a <> "micro" && a <> "ablation"
         && a <> "export" && a <> "smoke" && a <> "json" && a <> "scale"
-        && a <> "parallel")
+        && a <> "parallel" && a <> "commute")
       args
   in
   let t0 = Unix.gettimeofday () in
@@ -531,7 +665,8 @@ let () =
     && not
          (List.mem "summary" args || List.mem "micro" args
           || List.mem "ablation" args || List.mem "json" args
-          || List.mem "scale" args || List.mem "parallel" args)
+          || List.mem "scale" args || List.mem "parallel" args
+          || List.mem "commute" args)
   then begin
     (* Default: everything the paper reports. *)
     print_figures (Experiments.all ~quick ());
@@ -547,6 +682,8 @@ let () =
       scale_bench ~smoke ~out:"BENCH_scale.json" ();
     if List.mem "parallel" args then
       parallel_bench ~smoke ~out:"BENCH_pr7.json" ();
+    if List.mem "commute" args then
+      commute_bench ~smoke ~out:"BENCH_pr9.json" ();
     if List.mem "ablation" args then ablation ()
   end;
   Format.fprintf ppf "@.[bench completed in %.1f s]@." (Unix.gettimeofday () -. t0)

@@ -5,7 +5,7 @@
      dtx update     -f doc.xml -e 'CHANGE //price TO "9.99"' [-o out.xml]
      dtx dataguide  -f doc.xml                    print the strong DataGuide
      dtx locks      -f doc.xml -e 'REMOVE //item' [--protocol node2pl]
-     dtx workload   --protocol xdgl --clients 50 --update-pct 20 ...
+     dtx workload   --protocol commute --clients 50 --update-pct 20 ...
      dtx scale      --sites 1000 --clients 10000   extreme-scale single run
      dtx explore    --scenario ref [--naive] [--mutate skip-release] [--json]
      dtx experiment fig9 [--quick]                regenerate a paper figure
@@ -73,18 +73,10 @@ let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Write the result to $(docv) instead of stdout.")
 
-let protocol_conv =
-  Arg.conv
-    ( (fun s ->
-        match Protocol.kind_of_string s with
-        | Some k -> Ok k
-        | None -> Error (`Msg ("unknown protocol " ^ s))),
-      fun ppf k -> Format.pp_print_string ppf (Protocol.kind_to_string k) )
-
-let protocol_arg =
-  Arg.(value & opt protocol_conv Protocol.Xdgl & info [ "protocol" ]
-         ~docv:"PROTO"
-         ~doc:"Concurrency-control protocol: xdgl, node2pl, doc2pl, tadom or xdgl+vl.")
+(* Protocol selection is shared, registry-driven plumbing: see
+   {!Protocol_arg}. [--protocol] picks one kind; the sweep subcommands
+   (analyze, chaos) take [--protocols] config lists instead. *)
+let protocol_arg = Protocol_arg.arg
 
 (* --- generate -------------------------------------------------------------- *)
 
@@ -453,7 +445,7 @@ let analyze_cmd =
     Arg.(value & opt int 256 & info [ "ring" ]
            ~doc:"Trace ring-buffer capacity (violation suffix length).")
   in
-  let run seeds clients sites txns ops upd mb smoke mutate ring =
+  let run seeds clients sites txns ops upd mb smoke mutate ring protocols =
     let clients, sites, txns, ops, mb, seeds =
       if smoke || mutate <> None then
         (6, 3, 3, 4, 2.0, [ List.nth_opt seeds 0 |> Option.value ~default:7 ])
@@ -471,12 +463,9 @@ let analyze_cmd =
     in
     let configs =
       match mutate with
-      | Some Skip_release -> [ (Protocol.Xdgl, false) ]
-      | Some Commit_reorder -> [ (Protocol.Xdgl, true) ]
-      | _ ->
-        [ (Protocol.Xdgl, false); (Protocol.Xdgl_value, false);
-          (Protocol.Node2pl, false); (Protocol.Tadom, false);
-          (Protocol.Xdgl, true) ]
+      | Some Skip_release -> [ (Protocol.xdgl, false) ]
+      | Some Commit_reorder -> [ (Protocol.xdgl, true) ]
+      | _ -> protocols
     in
     let failed = ref false in
     List.iter
@@ -523,7 +512,7 @@ let analyze_cmd =
        ~doc:"Run seeded workloads under every protocol with the invariant \
              checker attached; exit non-zero on the first violation.")
     Term.(const run $ seeds $ clients $ sites $ txns $ ops $ upd $ mb $ smoke
-          $ mutate $ ring)
+          $ mutate $ ring $ Protocol_arg.configs_arg)
 
 (* --- chaos ------------------------------------------------------------------*)
 
@@ -554,8 +543,8 @@ let chaos_cmd =
   in
   let smoke =
     Arg.(value & flag & info [ "smoke" ]
-           ~doc:"Reduced matrix (the make-check gate): 3 plans, XDGL and \
-                 XDGL+2PC only.")
+           ~doc:"Reduced matrix (the make-check gate): 3 plans, the XDGL \
+                 and Commute flavours only.")
   in
   let show_plans =
     Arg.(value & flag & info [ "show-plans" ]
@@ -566,14 +555,13 @@ let chaos_cmd =
            ~doc:"Trace ring-buffer capacity (violation suffix length).")
   in
   let run plans first_seed sites clients txns ops upd horizon smoke show_plans
-      ring =
+      ring protocols =
     let plans, configs =
-      if smoke then (3, [ (Protocol.Xdgl, false); (Protocol.Xdgl, true) ])
-      else
-        ( plans,
-          [ (Protocol.Xdgl, false); (Protocol.Xdgl_value, false);
-            (Protocol.Node2pl, false); (Protocol.Tadom, false);
-            (Protocol.Xdgl, true) ] )
+      if smoke then
+        ( 3,
+          [ (Protocol.xdgl, false); (Protocol.xdgl, true);
+            (Protocol.commute, false); (Protocol.commute, true) ] )
+      else (plans, protocols)
     in
     let base =
       { Workload.default_params with
@@ -656,7 +644,7 @@ let chaos_cmd =
              WAL-replay restart — with the invariant checker attached; \
              exit non-zero if any run violates an invariant.")
     Term.(const run $ plans $ first_seed $ sites $ clients $ txns $ ops $ upd
-          $ horizon $ smoke $ show_plans $ ring)
+          $ horizon $ smoke $ show_plans $ ring $ Protocol_arg.configs_arg)
 
 (* --- explore ----------------------------------------------------------------*)
 

@@ -1,0 +1,103 @@
+(* Shared Cmdliner plumbing for protocol selection, driven entirely by the
+   {!Dtx_protocol.Protocol} registry so a newly registered protocol shows up
+   in every subcommand (workload/scale/explore pick one; analyze/chaos sweep
+   a matrix) without touching this file. *)
+
+open Cmdliner
+module Protocol = Dtx_protocol.Protocol
+
+let names () =
+  Protocol.registered () |> List.map Protocol.kind_to_string
+  |> List.map String.lowercase_ascii
+
+let kind_conv =
+  Arg.conv
+    ( (fun s ->
+        match Protocol.kind_of_string s with
+        | Some k -> Ok k
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown protocol %s (expected one of %s)" s
+                  (String.concat ", " (names ())))) ),
+      fun ppf k -> Format.pp_print_string ppf (Protocol.kind_to_string k) )
+
+let arg =
+  let doc =
+    Printf.sprintf "Concurrency-control protocol: %s."
+      (String.concat ", " (names ()))
+  in
+  Arg.(value & opt kind_conv Protocol.xdgl & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+(* A config is a protocol plus the commit flavour. The sweep default is every
+   registered protocol one-phase, plus the two 2PC flavours the test matrix
+   has always certified (XDGL) or that need 2PC coverage most (Commute's
+   validate-then-prepare ordering). *)
+
+type config = Protocol.kind * bool
+
+let default_configs () =
+  List.map (fun k -> (k, false)) (Protocol.registered ())
+  @ [ (Protocol.xdgl, true); (Protocol.commute, true) ]
+
+let config_to_string (k, two_phase) =
+  Protocol.kind_to_string k ^ if two_phase then "+2pc" else ""
+
+let parse_config s =
+  (* "+2pc" is an exact suffix check: protocol names themselves may contain
+     '+' ("XDGL+VL"). *)
+  let suffix = "+2pc" in
+  let base, two_phase =
+    if
+      String.length s > String.length suffix
+      && String.sub s (String.length s - String.length suffix)
+           (String.length suffix)
+         = suffix
+    then (String.sub s 0 (String.length s - String.length suffix), true)
+    else (s, false)
+  in
+  match Protocol.kind_of_string base with
+  | None ->
+    Error
+      (`Msg
+         (Printf.sprintf "unknown protocol %s (expected one of %s)" base
+            (String.concat ", " (names ()))))
+  | Some k ->
+    if two_phase && not (Protocol.caps k).Protocol.two_pc_compatible then
+      Error
+        (`Msg
+           (Printf.sprintf "%s does not support two-phase commit"
+              (Protocol.kind_to_string k)))
+    else Ok (k, two_phase)
+
+let configs_conv =
+  Arg.conv
+    ( (fun s ->
+        if String.lowercase_ascii (String.trim s) = "all" then
+          Ok (default_configs ())
+        else
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.fold_left
+               (fun acc spec ->
+                 match (acc, parse_config spec) with
+                 | Error _, _ -> acc
+                 | _, (Error _ as e) -> e
+                 | Ok cs, Ok c -> Ok (cs @ [ c ]))
+               (Ok [])),
+      fun ppf cs ->
+        Format.pp_print_string ppf
+          (String.concat "," (List.map config_to_string cs)) )
+
+let configs_arg =
+  let doc =
+    Printf.sprintf
+      "Protocol configurations to sweep: comma-separated $(i,NAME)[+2pc] \
+       specs (%s), or $(b,all) for every registered protocol plus the 2PC \
+       flavours."
+      (String.concat ", " (names ()))
+  in
+  Arg.(
+    value
+    & opt configs_conv (default_configs ())
+    & info [ "protocols" ] ~docv:"CONFIGS" ~doc)

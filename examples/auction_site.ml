@@ -47,7 +47,7 @@ let () =
         r.Workload.response.Stats.mean r.Workload.response.Stats.p95
         r.Workload.committed r.Workload.deadlocks r.Workload.lock_requests
         r.Workload.makespan_ms)
-    [ Protocol.Xdgl; Protocol.Node2pl; Protocol.Doc2pl ];
+    [ Protocol.xdgl; Protocol.node2pl; Protocol.doc2pl ];
   print_endline
     "\n(XDGL: fast, fine-grained, more deadlocks; Node2PL: slow navigation\n\
      locking; Doc2PL: one lock per document — the paper's related-work\n\

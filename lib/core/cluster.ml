@@ -20,7 +20,7 @@ type config = {
   txn_timeout_ms : float option;
 }
 
-let default_config ?(protocol = Protocol.Xdgl) () =
+let default_config ?(protocol = Protocol.xdgl) () =
   { protocol; cost = Cost.default; deadlock_period_ms = 40.0;
     storage = `Memory; commit = One_phase;
     deadlock_policy = Site.Detection; op_timeout_ms = None;
@@ -38,6 +38,7 @@ type stats = Coordinator.stats = {
   mutable wake_messages : int;
   mutable wounded : int;
   mutable retransmits : int;
+  mutable validation_aborts : int;
   mutable last_finish : float;
   response_times : float Dtx_util.Vec.t;
   commit_stamps : float Dtx_util.Vec.t;
@@ -230,6 +231,14 @@ let create ~sim ~net ~n_sites config ~placements =
       ~site_failed:(fun s -> Hashtbl.mem failed_sites s)
       ~n_sites ()
   in
+  (* The Commute protocol needs its coordinator-side classifier, built over
+     private clones of the placement documents. *)
+  if (Protocol.caps config.protocol).Protocol.needs_validation then
+    Coordinator.set_optimist coord
+      (Optimist.create ~protocol:config.protocol
+         ~docs:
+           (List.map (fun (p : Allocation.placement) -> p.Allocation.doc)
+              placements));
   let participants =
     Array.map
       (fun (site : Site.t) ->

@@ -87,6 +87,10 @@ type stats = Coordinator.stats = {
           needed their locks *)
   mutable retransmits : int;
       (** messages re-sent by the coordinator's backoff timers *)
+  mutable validation_aborts : int;
+      (** Commute protocol: transactions aborted because their optimistic
+          commutativity assumption was invalidated by a concurrent
+          admission or structural mutation *)
   mutable last_finish : float;  (** time the last transaction ended *)
   response_times : float Dtx_util.Vec.t;  (** committed transactions only *)
   commit_stamps : float Dtx_util.Vec.t;  (** commit times (Fig. 12 input) *)

@@ -23,6 +23,7 @@ type stats = {
   mutable wake_messages : int;
   mutable wounded : int;
   mutable retransmits : int;
+  mutable validation_aborts : int;
   mutable last_finish : float;
   response_times : float Vec.t;
   commit_stamps : float Vec.t;
@@ -32,12 +33,17 @@ type stats = {
 let fresh_stats () =
   { submitted = 0; committed = 0; aborted = 0; failed = 0; deadlock_aborts = 0;
     distributed_deadlocks = 0; local_deadlocks = 0; op_undos = 0;
-    wake_messages = 0; wounded = 0; retransmits = 0; last_finish = 0.0;
+    wake_messages = 0; wounded = 0; retransmits = 0; validation_aborts = 0;
+    last_finish = 0.0;
     response_times = Vec.create ();
     commit_stamps = Vec.create (); concurrency_samples = Vec.create () }
 
 (* Why a transaction ended the way it did (drives the deadlock counters). *)
-type end_reason = Reason_normal | Reason_deadlock | Reason_op_failure of string
+type end_reason =
+  | Reason_normal
+  | Reason_deadlock
+  | Reason_op_failure of string
+  | Reason_validation of string
 
 type phase =
   | Executing  (** picking / scheduling the next shipment *)
@@ -50,6 +56,9 @@ type phase =
 type txn_state = {
   txn : Txn.t;
   on_finish : Txn.t -> unit;
+  opt_flags : bool array;
+      (** per-operation optimistic flags from {!Optimist.admit}; empty
+          outside the Commute protocol *)
   op_sites : int list array;
       (** per-operation replica sites (ascending), resolved from the catalog
           once at submit — the shipping loop never re-derives them *)
@@ -117,6 +126,7 @@ type t = {
   mutable active : int;
   mutable history : History.t option;
   mutable tracer : phase_tracer option;
+  mutable optimist : Optimist.t option;
 }
 
 let create ~sim ~net ~cost ~catalog ~commit ~op_timeout_ms ?retransmit_ms
@@ -130,9 +140,15 @@ let create ~sim ~net ~cost ~catalog ~commit ~op_timeout_ms ?retransmit_ms
     stats = fresh_stats ();
     active = 0;
     history = None;
-    tracer = None }
+    tracer = None;
+    optimist = None }
 
 let set_tracer t tr = t.tracer <- tr
+
+let set_optimist t o = t.optimist <- Some o
+
+let optimistic_flag (st : txn_state) i =
+  i < Array.length st.opt_flags && st.opt_flags.(i)
 
 (* Every phase change funnels through here so the analyzer sees the FSM as
    it actually runs. Same-phase assignments are suppressed: they are not
@@ -231,6 +247,19 @@ let retransmit_loop t ~still_pending ~resend ~give_up =
 
 let rec coordinator_step t (st : txn_state) =
   if st.phase = Executing && st.txn.Txn.status = Txn.Active then begin
+    let doomed =
+      match t.optimist with
+      | Some o -> Optimist.invalidated o ~txn:st.txn.Txn.id
+      | None -> None
+    in
+    match doomed with
+    | Some reason ->
+      (* A concurrent admission broke this transaction's optimistic
+         assumption: abort now instead of finishing doomed work (the
+         validation step would reject it anyway). *)
+      st.reason <- Reason_validation reason;
+      start_end_protocol t st ~commit:false
+    | None -> (
     match Txn.next_operation st.txn with
     | None -> start_end_protocol t st ~commit:true
     | Some op_rec -> (
@@ -270,7 +299,7 @@ let rec coordinator_step t (st : txn_state) =
             m "t%d op%d (batch %d) attempt %d -> sites [%s]" st.txn.Txn.id
               op_rec.Txn.op_index (List.length batch) st.attempt
               (String.concat ";" (List.map string_of_int op_sites)));
-        visit_next_site t st)
+        visit_next_site t st))
   end
 
 and visit_next_site t (st : txn_state) =
@@ -298,7 +327,8 @@ and visit_next_site t (st : txn_state) =
       List.map
         (fun (r : Txn.op_record) ->
           { Msg.s_index = r.Txn.op_index; s_doc = r.Txn.doc; s_op = r.Txn.op;
-            s_text = r.Txn.op_text })
+            s_text = r.Txn.op_text;
+            s_optimistic = optimistic_flag st r.Txn.op_index })
         st.batch
     in
     let msg = Msg.Op_ship { txn = st.txn.Txn.id; attempt; seq; ops = shipments } in
@@ -457,6 +487,23 @@ and involved_sites _t (st : txn_state) = st.involved
 
 and start_end_protocol t (st : txn_state) ~commit =
   if not (finishing st) then begin
+    (* The Commute protocol's validation step, run once per transaction on
+       the way into its end protocol — before the prepare phase under 2PC,
+       so an invalidated optimistic assumption aborts instead of
+       preparing. *)
+    let commit =
+      commit
+      &&
+      match t.optimist with
+      | None -> true
+      | Some o -> (
+        Optimist.note_all_executed o ~txn:st.txn.Txn.id;
+        match Optimist.validate o ~txn:st.txn.Txn.id with
+        | Ok () -> true
+        | Error reason ->
+          st.reason <- Reason_validation reason;
+          false)
+    in
     if commit && t.commit = Two_phase && not st.prepared then
       start_prepare_phase t st
     else begin_ending t st ~commit
@@ -603,6 +650,9 @@ and finalize t (st : txn_state) status =
   st.txn.Txn.finished_at <- Sim.now t.sim;
   t.stats.last_finish <- Sim.now t.sim;
   Hashtbl.remove t.txns st.txn.Txn.id;
+  (match t.optimist with
+   | Some o -> Optimist.remove o ~txn:st.txn.Txn.id
+   | None -> ());
   Hashtbl.replace t.outcomes st.txn.Txn.id
     (status = Txn.Committed, st.txn.Txn.coordinator);
   t.active <- t.active - 1;
@@ -617,10 +667,14 @@ and finalize t (st : txn_state) status =
      t.stats.committed <- t.stats.committed + 1;
      Vec.push t.stats.response_times (Txn.response_time st.txn);
      Vec.push t.stats.commit_stamps st.txn.Txn.finished_at
-   | Txn.Aborted ->
+   | Txn.Aborted -> (
      t.stats.aborted <- t.stats.aborted + 1;
-     if st.reason = Reason_deadlock then
+     match st.reason with
+     | Reason_deadlock ->
        t.stats.deadlock_aborts <- t.stats.deadlock_aborts + 1
+     | Reason_validation _ ->
+       t.stats.validation_aborts <- t.stats.validation_aborts + 1
+     | Reason_normal | Reason_op_failure _ -> ())
    | Txn.Failed -> t.stats.failed <- t.stats.failed + 1
    | Txn.Active | Txn.Waiting -> assert false);
   st.on_finish st.txn
@@ -682,8 +736,20 @@ let submit t ~client ~coordinator ~ops ~on_finish =
       (coordinator
       :: Array.fold_left (fun acc ss -> List.rev_append ss acc) [] op_sites)
   in
+  (* The Commute protocol's admission step: classify every operation
+     against the active set; provably-commuting ones ship optimistic. *)
+  let opt_flags =
+    match t.optimist with
+    | None -> [||]
+    | Some o ->
+      Optimist.admit o ~txn:id
+        ~ops:
+          (Array.map
+             (fun (r : Txn.op_record) -> (r.Txn.doc, r.Txn.op))
+             txn.Txn.ops)
+  in
   let st =
-    { txn; on_finish; op_sites; involved;
+    { txn; on_finish; opt_flags; op_sites; involved;
       phase = Executing; attempt = 0; batch = [];
       sites_left = []; sites_done = []; awaiting_site = None;
       awaiting_seq = None; wake_pending = false; prepared = false;

@@ -66,6 +66,9 @@ type stats = {
   mutable wake_messages : int;
   mutable wounded : int;
   mutable retransmits : int;
+  mutable validation_aborts : int;
+      (** transactions aborted because their optimistic commutativity
+          assumption was invalidated (Commute protocol only) *)
   mutable last_finish : float;
   response_times : float Dtx_util.Vec.t;
   commit_stamps : float Dtx_util.Vec.t;
@@ -134,3 +137,11 @@ val set_history : t -> History.t -> unit
 val set_tracer : t -> phase_tracer option -> unit
 (** Install (or remove) a phase-transition sink. [None] (the default) keeps
     phase assignment a plain store plus one immediate [match]. *)
+
+val set_optimist : t -> Optimist.t -> unit
+(** Install the Commute protocol's commutativity classifier. From then on
+    every {!submit} classifies its operations against the active set (the
+    resulting flags ride the shipments), transactions are validated on the
+    way into their end protocol, and invalidated ones abort with a
+    validation abort. Without a classifier (the default) all operations
+    ship pessimistically and validation always passes. *)

@@ -139,8 +139,9 @@ let handle_op_ship ctx ~src ~txn ~attempt ~seq ops =
                 | [] -> (granted, work, result_nodes, Msg.Granted)
                 | (s : Msg.shipment) :: rest -> (
                   let outcome =
-                    Site.process_operation ctx.site ~txn ~op_index:s.Msg.s_index
-                      ~attempt ~doc:s.Msg.s_doc s.Msg.s_op
+                    Site.process_operation ~optimistic:s.Msg.s_optimistic
+                      ctx.site ~txn ~op_index:s.Msg.s_index ~attempt
+                      ~doc:s.Msg.s_doc s.Msg.s_op
                   in
                   match outcome with
                   | Site.Granted { lock_requests; touched; result_nodes = rn } ->

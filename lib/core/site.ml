@@ -1,4 +1,5 @@
 module Protocol = Dtx_protocol.Protocol
+module Mode = Dtx_locks.Mode
 module Table = Dtx_locks.Table
 module Wfg = Dtx_locks.Wfg
 module Storage = Dtx_storage.Storage
@@ -108,15 +109,43 @@ let undo_effect t ~txn ~op_index (eff : op_effect) =
   | Some l -> l := List.filter (fun i -> i <> op_index) !l
   | None -> ()
 
-let process_operation_fresh t ~txn ~op_index ~attempt ~doc:doc_name op =
+(* The Commute protocol's optimistic execution path: the coordinator's
+   classifier proved this operation commutes with everything active, so a
+   read-only footprint acquires nothing at all and an update footprint is
+   downgraded to intention modes (IS/IX are mutually compatible, so
+   optimistic transactions never block each other, while IX still collides
+   with a pessimistic holder's ST/X — the safety net). The {e full} derived
+   footprint is still recorded with the history sink, so the
+   serializability checker judges the real access pattern, not the
+   downgraded locks. *)
+let optimistic_requests op requests =
+  if
+    (not (Op.is_update op))
+    && not (List.exists (fun (_, m) -> Mode.is_exclusive m) requests)
+  then []
+  else
+    List.sort_uniq
+      (fun (r1, m1) (r2, m2) ->
+        let c = Table.compare_resource r1 r2 in
+        if c <> 0 then c else compare m1 m2)
+      (List.map (fun (r, m) -> (r, Mode.intention_for m)) requests)
+
+let process_operation_fresh ?(optimistic = false) t ~txn ~op_index ~attempt
+    ~doc:doc_name op =
   t.stats.ops_processed <- t.stats.ops_processed + 1;
   (* A transaction runs one operation at a time, so any of its previous wait
      edges here are stale (it was woken, or this is another attempt). *)
   Wfg.clear_waits_of t.wfg txn;
   match Protocol.lock_requests t.protocol ~doc:doc_name op with
   | Error e -> Op_failed e
-  | Ok (requests, processed) -> (
-    let n_requests = processed in
+  | Ok (full_requests, processed) -> (
+    let requests =
+      if optimistic then optimistic_requests op full_requests
+      else full_requests
+    in
+    (* Optimistic operations are charged only for the locks they actually
+       take — the skipped lock-manager work is the protocol's win. *)
+    let n_requests = if optimistic then List.length requests else processed in
     t.stats.lock_requests <- t.stats.lock_requests + n_requests;
     match Table.acquire_all t.table ~txn requests with
     | Error blockers -> (
@@ -171,21 +200,23 @@ let process_operation_fresh t ~txn ~op_index ~attempt ~doc:doc_name op =
             eff_touched = effect.Exec.touched };
         note_txn_op t ~txn ~op_index;
         (match t.access_sink with
-         | Some sink -> sink ~txn ~op_index ~attempt requests
+         | Some sink -> sink ~txn ~op_index ~attempt full_requests
          | None -> ());
         Granted
           { lock_requests = n_requests;
             touched = effect.Exec.touched;
             result_nodes = effect.Exec.result_count }))
 
-let process_operation t ~txn ~op_index ~attempt ~doc:doc_name op =
+let process_operation ?(optimistic = false) t ~txn ~op_index ~attempt
+    ~doc:doc_name op =
   (* A lingering effect from an earlier attempt means the cross-site undo
      message has not landed yet (the coordinator already decided to retry);
      reverse it before re-executing so effects never double-apply. *)
   (match Hashtbl.find_opt t.op_effects (txn, op_index) with
    | Some eff -> undo_effect t ~txn ~op_index eff
    | None -> ());
-  process_operation_fresh t ~txn ~op_index ~attempt ~doc:doc_name op
+  process_operation_fresh ~optimistic t ~txn ~op_index ~attempt ~doc:doc_name
+    op
 
 let undo_operation ?only_attempt t ~txn ~op_index =
   match Hashtbl.find_opt t.op_effects (txn, op_index) with

@@ -107,15 +107,24 @@ val create :
     [deadlock_policy] defaults to {!Detection}. *)
 
 val process_operation :
-  t -> txn:int -> op_index:int -> attempt:int -> doc:string ->
-  Dtx_update.Op.t -> op_outcome
+  ?optimistic:bool -> t -> txn:int -> op_index:int -> attempt:int ->
+  doc:string -> Dtx_update.Op.t -> op_outcome
 (** Algorithm 3. On [Granted] the operation's effects are applied to the
     local replica, its undo log is saved (tagged with [attempt]), and its
     locks are held (Strict 2PL). On [Blocked] wait-for edges
     [txn → blockers] are recorded here. Stale wait edges of [txn] at this
     site are cleared first, and a leftover effect of an earlier attempt of
     the same operation is reversed before re-executing (the coordinator's
-    cross-site undo may still be in flight). *)
+    cross-site undo may still be in flight).
+
+    [optimistic] (default [false]) is the Commute protocol's fast path:
+    the coordinator proved the operation commutes with everything active,
+    so a read-only footprint acquires no locks at all and an update
+    footprint is downgraded to intention modes ({!Dtx_locks.Mode.intention_for});
+    only the locks actually taken are charged, released on undo/finish, and
+    mirrored by the checker, while the {e full} derived footprint is still
+    reported to the history sink so serializability stays strictly
+    checked. *)
 
 val undo_operation : ?only_attempt:int -> t -> txn:int -> op_index:int -> unit
 (** Reverse one executed operation and release the locks it took (the

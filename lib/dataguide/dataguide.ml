@@ -16,9 +16,11 @@ type t = {
   by_id : (int, node) Hashtbl.t;
   mutable next_id : int;
   mutable version : int;
+  mutable shape_version : int;
 }
 
 let version t = t.version
+let shape_version t = t.shape_version
 
 let new_node t ~label ~parent =
   let n =
@@ -26,6 +28,7 @@ let new_node t ~label ~parent =
   in
   t.next_id <- t.next_id + 1;
   t.version <- t.version + 1;
+  t.shape_version <- t.shape_version + 1;
   Hashtbl.replace t.by_id n.dg_id n;
   n
 
@@ -37,7 +40,8 @@ let create ~doc_name ~root_label =
           children = Hashtbl.create 4; target_count = 0 };
       by_id = Hashtbl.create 64;
       next_id = 1;
-      version = 0 }
+      version = 0;
+      shape_version = 0 }
   in
   Hashtbl.replace t.by_id 0 t.root;
   t
@@ -204,7 +208,10 @@ let prune t =
       (Hashtbl.copy n.children)
   in
   go t.root;
-  if !removed > 0 then t.version <- t.version + !removed;
+  if !removed > 0 then begin
+    t.version <- t.version + !removed;
+    t.shape_version <- t.shape_version + !removed
+  end;
   !removed
 
 let validate t (doc : Doc.t) =

@@ -29,6 +29,10 @@ type t = {
   mutable version : int;
       (** bumped on every mutation (node creation, instance count change,
           prune) — lock-derivation caches key on it *)
+  mutable shape_version : int;
+      (** bumped only when the trie's {e shape} changes — a node created or
+          pruned, i.e. a label path appearing or vanishing. Instance-count
+          changes on existing paths leave it alone. *)
 }
 
 val build : Dtx_xml.Doc.t -> t
@@ -38,6 +42,13 @@ val version : t -> int
 (** Monotonic mutation counter: changes whenever the trie's structure or any
     [target_count] changes, so a cached value derived from the DataGuide is
     valid iff the version it was computed at is still current. *)
+
+val shape_version : t -> int
+(** Monotonic {e shape} counter: changes only when label paths appear or
+    vanish — the only mutations that can change which DataGuide nodes a
+    path expression resolves to. The optimistic protocol's validation
+    snapshots this: footprints derived before a shape change may be stale,
+    while instance-count churn on existing paths cannot invalidate them. *)
 
 val size : t -> int
 (** Number of DataGuide nodes (distinct label paths). *)

@@ -115,7 +115,7 @@ type config = {
 }
 
 let default_config =
-  { protocol = Protocol.Xdgl;
+  { protocol = Protocol.xdgl;
     two_phase = false;
     naive = false;
     mutate = None;

@@ -11,10 +11,12 @@ type shipment = {
   s_doc : string;
   s_op : Op.t;
   s_text : string;
+  s_optimistic : bool;
 }
 
-let shipment ~index ~doc op =
-  { s_index = index; s_doc = doc; s_op = op; s_text = Op.to_string op }
+let shipment ?(optimistic = false) ~index ~doc op =
+  { s_index = index; s_doc = doc; s_op = op; s_text = Op.to_string op;
+    s_optimistic = optimistic }
 
 type t =
   | Op_ship of { txn : int; attempt : int; seq : int; ops : shipment list }
@@ -162,7 +164,8 @@ let encode m =
        (fun s ->
          put_varint b s.s_index;
          put_string b s.s_doc;
-         put_string b s.s_text)
+         put_string b s.s_text;
+         put_bool b s.s_optimistic)
        ops
    | Op_status { txn; attempt; seq; granted; status; result_bytes } ->
      put_varint b txn;
@@ -262,7 +265,8 @@ let decode s =
                 let s_index = varint () in
                 let s_doc = string_ () in
                 let s_op, s_text = op_ () in
-                { s_index; s_doc; s_op; s_text })
+                let s_optimistic = bool_ () in
+                { s_index; s_doc; s_op; s_text; s_optimistic })
           in
           Op_ship { txn; attempt; seq; ops }
         | 1 ->
@@ -340,7 +344,7 @@ let size m =
       | s :: rest ->
         ops_len rest
           (acc + varint_len s.s_index + string_len s.s_doc
-          + string_len s.s_text)
+          + string_len s.s_text + 1)
     in
     varint_len txn + varint_len attempt + varint_len seq
     + varint_len (List.length ops)

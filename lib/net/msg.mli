@@ -34,10 +34,16 @@ type shipment = {
           when the shipment is built (at transaction submit time) and written
           verbatim on the wire — sizing and encoding never re-render the
           operation *)
+  s_optimistic : bool;
+      (** the coordinator's commutativity classifier proved this operation
+          commutes with every concurrently active one, so the participant
+          may skip lock acquisition (read-only footprint) or downgrade to
+          intention modes; always [false] outside the Commute protocol *)
 }
 
-val shipment : index:int -> doc:string -> Op.t -> shipment
-(** Build a shipment, rendering [s_text] from the operation. *)
+val shipment : ?optimistic:bool -> index:int -> doc:string -> Op.t -> shipment
+(** Build a shipment, rendering [s_text] from the operation. [optimistic]
+    defaults to [false]. *)
 
 type t =
   | Op_ship of { txn : int; attempt : int; seq : int; ops : shipment list }

@@ -1,0 +1,109 @@
+(** Static pairwise operation commutativity, decided from lock footprints on
+    the schema summary — never from document instances.
+
+    Following Dekeyser et al.'s instance-independent view of semistructured
+    conflicts (arXiv cs/0505074), two operations commute when their
+    statically derived footprints — the (resource, mode) sets
+    {!Protocol.lock_requests} computes against the DataGuide — cannot
+    interact:
+
+    - {e different documents}: disjoint resource spaces, commute;
+    - {e two queries}: reads never conflict;
+    - {e lock-mode conflict} on a shared resource (per
+      {!Dtx_locks.Mode.compatible}, after charging each operation a virtual
+      ST read lock on the nodes its paths resolve to, which closes the
+      INSERT AFTER/BEFORE gap where the rules lock the connect node but not
+      the position-defining target): [Conflicts];
+    - two {e order-sensitive} operations (insert/transpose) whose
+      shared-insert locks (SI/SA/SB, mutually compatible by design) meet on
+      a common connect node: [Unknown] — they do not block each other but
+      produce different sibling orders;
+    - otherwise [Commutes].
+
+    [Unknown] is the conservative verdict: consumers needing a yes/no
+    independence answer must treat it as [Conflicts] ({!independent} does).
+    The analyzer owns a {e private} protocol instance over private document
+    copies, because XDGL lock derivation grows the DataGuide for insert
+    targets and that mutation must not touch the system under analysis.
+
+    Two consumers share this engine: the schedule explorer's DPOR sleep
+    sets (via the {!Dtx_explore.Commute} re-export) and the {!Protocol.commute}
+    runtime protocol, whose coordinator classifies each transaction's
+    operations against the concurrently active ones and skips or
+    intention-downgrades locks for provably-commuting operations. *)
+
+type verdict = Commutes | Conflicts | Unknown
+
+val verdict_to_string : verdict -> string
+
+val independent : verdict -> bool
+(** [true] only for [Commutes] — [Unknown] conservatively counts as a
+    conflict. This is the independence relation the schedule explorer's
+    sleep sets are seeded with. *)
+
+type t
+
+val create :
+  protocol:Protocol.kind -> docs:(string * string) list -> t
+(** [create ~protocol ~docs] builds the analyzer over [(name, xml)]
+    documents. The XML is parsed into private replicas (the analysis
+    instance is never shared with a running cluster). *)
+
+val create_of_docs : protocol:Protocol.kind -> docs:Dtx_xml.Doc.t list -> t
+(** Like {!create} but over already-parsed documents, which are deep-cloned
+    into the analyzer (same node ids, private instance). This is what the
+    runtime coordinator uses to build its classifier from the cluster's
+    placement documents. *)
+
+val guide_version : t -> string -> int
+(** Current {e shape} version of the analyzer's private DataGuide for a
+    document (0 if the document is unknown or the protocol keeps no guide):
+    it advances only when label paths appear or vanish, the one kind of
+    mutation that can stale a derived footprint. The optimistic runtime
+    snapshots these at admission and aborts any transaction whose touched
+    guides advanced — a concurrent structural mutation introduced schema
+    paths the admission-time verdicts never saw. *)
+
+val apply_structural : t -> doc:string -> Dtx_update.Op.t -> unit
+(** Mirror an admitted update onto the analyzer's private replica, advancing
+    its DataGuide for any novel structure. Queries and failed applications
+    are no-ops. The mirror is a conservative superset of what really
+    commits: a mutation that never lands can only cause a spurious
+    validation abort, never a missed one. *)
+
+val decide :
+  t -> string * Dtx_update.Op.t -> string * Dtx_update.Op.t -> verdict
+(** [decide t (doc1, op1) (doc2, op2)] — do the operations commute? Purely
+    static: only the DataGuide (or, for instance-based protocols, the
+    document-node footprint) and the mode matrix are consulted. An
+    operation whose footprint cannot be derived (unknown document) yields
+    [Unknown]. *)
+
+type prepared
+(** An operation with its footprint and virtual-read set derived once, so
+    repeated pairwise decisions stop re-deriving locks. *)
+
+val prepared_doc : prepared -> string
+(** The document the prepared operation targets. *)
+
+val prepare : t -> (string * Dtx_update.Op.t) array -> prepared array
+(** Derive every operation's footprint once, after a warm-up pass that
+    drives the DataGuide's insert-target growth to its fixed point, so each
+    pairwise verdict is decided against one consistent schema state. *)
+
+val decide_prepared : t -> prepared -> prepared -> verdict
+(** {!decide} over pre-derived footprints; this is the O(1)-per-pair form
+    the runtime classifier uses against the set of active transactions. *)
+
+val matrix :
+  t -> (string * Dtx_update.Op.t) array -> verdict array array
+(** Pairwise verdicts for a workload's operations; [m.(i).(j)] is
+    [decide t ops.(i) ops.(j)]. Symmetric. Each operation's footprint and
+    virtual-read set is derived once (via {!prepare}), not per pair. *)
+
+val self_check :
+  t -> (string * Dtx_update.Op.t) array -> (unit, string list) result
+(** Soundness audit of {!matrix} over this workload: a raw lock-mode
+    conflict (per {!Dtx_locks.Mode.compatible}, no virtual reads) must
+    never be answered [Commutes], underivable footprints must be [Unknown],
+    and the matrix must be symmetric. *)

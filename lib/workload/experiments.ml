@@ -14,7 +14,7 @@ type figure = {
   series : series list;
 }
 
-let protocols = [ (Protocol.Xdgl, "DTX (XDGL)"); (Protocol.Node2pl, "DTX/Node2PL") ]
+let protocols = [ (Protocol.xdgl, "DTX (XDGL)"); (Protocol.node2pl, "DTX/Node2PL") ]
 
 let base_params quick =
   if quick then

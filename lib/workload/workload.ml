@@ -39,7 +39,7 @@ type params = {
 
 let default_params =
   { seed = 7;
-    protocol = Protocol.Xdgl;
+    protocol = Protocol.xdgl;
     n_sites = 4;
     n_clients = 50;
     txns_per_client = 5;
@@ -67,6 +67,7 @@ type result = {
   failed : int;
   not_executed : int;
   deadlocks : int;
+  validation_aborts : int;
   response : Stats.summary;
   makespan_ms : float;
   messages : int;
@@ -226,6 +227,7 @@ let run ?instrument ?database p =
     failed = s.Cluster.failed;
     not_executed = planned - min planned s.Cluster.committed;
     deadlocks = s.Cluster.deadlock_aborts;
+    validation_aborts = s.Cluster.validation_aborts;
     response;
     makespan_ms = makespan;
     messages = Net.messages net;
@@ -241,7 +243,8 @@ let run ?instrument ?database p =
 let pp_result ppf r =
   Format.fprintf ppf
     "@[<v>%s %s rep=%s sites=%d clients=%d upd=%d%%/%d%% base=%.0fMB:@ \
-     committed %d/%d (aborted %d, failed %d, deadlock aborts %d)@ \
+     committed %d/%d (aborted %d, failed %d, deadlock aborts %d, validation \
+     aborts %d)@ \
      response %a@ makespan %.1f ms, %d msgs, %d lock reqs, %d blocked ops, %d \
      op undos, structure %d nodes@]"
     (Protocol.kind_to_string r.params.protocol)
@@ -249,7 +252,8 @@ let pp_result ppf r =
     (Allocation.replication_to_string r.params.replication)
     r.params.n_sites r.params.n_clients r.params.update_txn_pct
     r.params.update_op_pct r.params.base_size_mb r.committed r.planned_txns
-    r.aborted r.failed r.deadlocks Stats.pp_summary r.response r.makespan_ms
+    r.aborted r.failed r.deadlocks r.validation_aborts Stats.pp_summary
+    r.response r.makespan_ms
     r.messages r.lock_requests r.blocked_ops r.op_undos r.structure_nodes;
   if r.traffic <> [] then begin
     Format.fprintf ppf "@\n  traffic:";

@@ -56,6 +56,9 @@ type result = {
   failed : int;
   not_executed : int;  (** planned transactions that never committed *)
   deadlocks : int;  (** deadlock-caused aborts — the paper's metric *)
+  validation_aborts : int;
+      (** Commute-protocol optimistic-validation aborts (invalidated
+          commutativity assumption or DataGuide drift); 0 elsewhere *)
   response : Dtx_util.Stats.summary;  (** committed-transaction response times (ms) *)
   makespan_ms : float;  (** virtual time until the system drained *)
   messages : int;

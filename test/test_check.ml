@@ -334,7 +334,33 @@ let test_many_seeds_serializable () =
             (Dtx_protocol.Protocol.kind_to_string protocol)
             seed Checker.pp_violation v
       done)
-    [ Dtx_protocol.Protocol.Xdgl; Dtx_protocol.Protocol.Node2pl ]
+    [ Dtx_protocol.Protocol.xdgl; Dtx_protocol.Protocol.node2pl;
+      Dtx_protocol.Protocol.commute ]
+
+(* The optimistic protocol's core soundness claim, generalized: whatever
+   workload shape QCheck draws, every history Commute accepts — lock-free
+   commuting operations, intention-downgraded writers, validation aborts
+   and all — passes the full checker, serializability included (the
+   checker's history invariant records the complete derived footprints,
+   not the reduced lock sets). *)
+let prop_commute_serializable =
+  QCheck.Test.make ~name:"commute-accepted histories serializability-clean"
+    ~count:20
+    QCheck.(triple (int_range 1 500) (int_range 0 100) (int_range 2 6))
+    (fun (seed, upd, clients) ->
+      let c = Checker.create () in
+      let p =
+        { (tiny_params ~seed ~protocol:Dtx_protocol.Protocol.commute
+             ~policy:Dtx.Site.Detection)
+          with n_clients = clients; update_txn_pct = upd }
+      in
+      ignore
+        (Workload.run ~instrument:(fun cluster -> Checker.attach c cluster) p);
+      match Checker.finish c with
+      | [] -> true
+      | v :: _ ->
+        QCheck.Test.fail_reportf "seed %d upd %d clients %d: %a" seed upd
+          clients Checker.pp_violation v)
 
 (* Forced aborts (wound-wait kills transactions aggressively) must leave no
    trace in the precedence graph: every conflict edge joins two committed
@@ -345,7 +371,7 @@ let test_aborted_txns_contribute_no_edges () =
     let res =
       Workload.run
         ~instrument:(fun cluster -> hist := Some (Cluster.enable_history cluster))
-        (tiny_params ~seed ~protocol:Dtx_protocol.Protocol.Xdgl
+        (tiny_params ~seed ~protocol:Dtx_protocol.Protocol.xdgl
            ~policy:Dtx.Site.Wound_wait)
     in
     let h = Option.get !hist in
@@ -402,4 +428,5 @@ let () =
         [ Alcotest.test_case "50 seeded runs serializable" `Slow
             test_many_seeds_serializable;
           Alcotest.test_case "aborts contribute no edges" `Quick
-            test_aborted_txns_contribute_no_edges ] ) ]
+            test_aborted_txns_contribute_no_edges;
+          QCheck_alcotest.to_alcotest prop_commute_serializable ] ) ]

@@ -27,7 +27,7 @@ let d2_text =
   "<products><product><id>14</id><description>Pen</description><price>1.20</price></product></products>"
 
 (* A two-site cluster: d1 on sites {0,1} (replicated), d2 on {1} only. *)
-let make_cluster ?(protocol = Protocol.Xdgl) ?(deadlock_period_ms = 5.0)
+let make_cluster ?(protocol = Protocol.xdgl) ?(deadlock_period_ms = 5.0)
     ?(commit = Cluster.One_phase) () =
   let sim = Sim.create () in
   let net = Net.of_config ~sim Net.Config.lan in
@@ -675,6 +675,92 @@ let test_status_query () =
   Sim.run sim;
   checkb "gone after finish" true (Cluster.txn_status cluster t.Txn.id = None)
 
+(* --- commute: the optimistic protocol ------------------------------------ *)
+
+(* Two read-only transactions provably commute, so the optimistic fast path
+   ships them lock-free: zero lock requests, zero blocking, both commit. *)
+let test_commute_readers_lock_free () =
+  let sim, _, cluster = make_cluster ~protocol:Protocol.commute () in
+  let done_ = ref 0 in
+  submit cluster ~coordinator:1
+    [ ("d2", q "/products/product/price") ]
+    (fun txn ->
+      checkb "reader 1 committed" true (txn.Txn.status = Txn.Committed);
+      incr done_);
+  submit cluster ~coordinator:1
+    [ ("d2", q "/products/product/description") ]
+    (fun txn ->
+      checkb "reader 2 committed" true (txn.Txn.status = Txn.Committed);
+      incr done_);
+  Sim.run sim;
+  check "both finished" 2 !done_;
+  check "no locks acquired" 0 (Cluster.total_lock_requests cluster);
+  check "no blocking" 0 (Cluster.total_blocked_ops cluster)
+
+(* The directed invalidated-assumption case: an optimistic reader is still
+   running when a conflicting writer is admitted. The writer falls back to
+   full XDGL locks (its operations are not provably commuting), and the
+   reader — which executed lock-free on a now-false assumption — must abort
+   through the validation path, never commit. *)
+let test_commute_invalidation_aborts_optimist () =
+  let sim, _, cluster = make_cluster ~protocol:Protocol.commute () in
+  let statuses = ref [] in
+  submit cluster ~coordinator:1
+    [ ("d2", q "/products/product");
+      ("d2", q "/products/product/price") ]
+    (fun txn -> statuses := ("reader", txn.Txn.status) :: !statuses);
+  submit cluster ~coordinator:1
+    [ ( "d2",
+        Op.Insert
+          { target = P.parse "/products";
+            pos = Op.Into;
+            fragment = "<product><id>13</id><price>9.99</price></product>" }
+      ) ]
+    (fun txn -> statuses := ("writer", txn.Txn.status) :: !statuses);
+  Sim.run sim;
+  check "both finished" 2 (List.length !statuses);
+  checkb "writer committed" true
+    (List.assoc "writer" !statuses = Txn.Committed);
+  checkb "reader aborted" true (List.assoc "reader" !statuses = Txn.Aborted);
+  check "one validation abort" 1 (Cluster.stats cluster).validation_aborts;
+  checkb "writer fell back to real locks" true
+    (Cluster.total_lock_requests cluster > 0)
+
+(* Structural drift: a fully-executed optimistic transaction is exempt from
+   pairwise invalidation, but a later admission that grows the DataGuide
+   past its admission snapshot must still fail validation — the stale
+   footprints never saw the new schema paths. Driven through the Optimist
+   API directly to pin the exact mechanism. *)
+let test_commute_structural_drift_fails_validation () =
+  let d2 = Xml_parser.parse ~name:"d2" d2_text in
+  let o = Dtx.Optimist.create ~protocol:Protocol.commute ~docs:[ d2 ] in
+  let flags =
+    Dtx.Optimist.admit o ~txn:1 ~ops:[| ("d2", q "/products/product") |]
+  in
+  checkb "reader admitted optimistically" true (Array.for_all Fun.id flags);
+  Dtx.Optimist.note_all_executed o ~txn:1;
+  let ins =
+    Op.Insert
+      { target = P.parse "/products/product";
+        pos = Op.Into;
+        fragment = "<warranty>2y</warranty>" }
+  in
+  ignore (Dtx.Optimist.admit o ~txn:2 ~ops:[| ("d2", ins) |]);
+  (match Dtx.Optimist.validate o ~txn:1 with
+   | Error reason ->
+     checkb "names the structural mutation" true
+       (let nh = String.length reason in
+        let needle = "structural" in
+        let nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub reason i nn = needle || go (i + 1))
+        in
+        go 0)
+   | Ok () -> Alcotest.fail "stale optimistic reader passed validation");
+  (match Dtx.Optimist.validate o ~txn:2 with
+   | Ok () -> ()
+   | Error r -> Alcotest.failf "writer's own growth invalidated it: %s" r)
+
 let () =
   Alcotest.run "cluster"
     [ ( "lifecycle",
@@ -717,4 +803,11 @@ let () =
       ( "history",
         [ Alcotest.test_case "serializable" `Quick test_history_serializable;
           Alcotest.test_case "requires enabling" `Quick test_history_requires_enabling ] );
+      ( "commute",
+        [ Alcotest.test_case "commuting readers lock-free" `Quick
+            test_commute_readers_lock_free;
+          Alcotest.test_case "invalidated optimist aborts" `Quick
+            test_commute_invalidation_aborts_optimist;
+          Alcotest.test_case "structural drift fails validation" `Quick
+            test_commute_structural_drift_fails_validation ] );
       ("determinism", [ Alcotest.test_case "same trace" `Quick test_deterministic ]) ]

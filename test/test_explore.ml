@@ -45,7 +45,7 @@ let pool =
      "INSERT BEFORE /r/b/z <k>7</k>";
      "INSERT AFTER /r/a/y <m2>6</m2>" |]
 
-let analyzer () = Commute.create ~protocol:Protocol.Xdgl ~docs:[ ("D", pool_doc) ]
+let analyzer () = Commute.create ~protocol:Protocol.xdgl ~docs:[ ("D", pool_doc) ]
 
 let decide t i j = Commute.decide t ("D", op pool.(i)) ("D", op pool.(j))
 
@@ -111,7 +111,7 @@ let prop_commutes_is_sound =
 (* --- exhaustive exploration ---------------------------------------------- *)
 
 let explore ?(mutate = None) ?(naive = false) ?(two_phase = false)
-    ?(protocol = Protocol.Xdgl) scen =
+    ?(protocol = Protocol.xdgl) scen =
   Explore.explore
     ~config:
       { Explore.default_config with
@@ -128,10 +128,30 @@ let test_ref_exhaustive_xdgl () =
   assert_clean "xdgl" (explore Explore.reference)
 
 let test_ref_exhaustive_node2pl () =
-  assert_clean "node2pl" (explore ~protocol:Protocol.Node2pl Explore.reference)
+  assert_clean "node2pl" (explore ~protocol:Protocol.node2pl Explore.reference)
 
 let test_ref_exhaustive_2pc () =
   assert_clean "xdgl+2pc" (explore ~two_phase:true Explore.reference)
+
+(* The three pinned scenarios, exhaustively explored under the optimistic
+   Commute config: every schedule it accepts — lock-free reads, downgraded
+   writers, validation aborts — must stay checker-clean, and the disjoint
+   scenario must still collapse to a single schedule. *)
+let test_ref_exhaustive_commute () =
+  assert_clean "commute" (explore ~protocol:Protocol.commute Explore.reference)
+
+let test_ref_exhaustive_commute_2pc () =
+  assert_clean "commute+2pc"
+    (explore ~protocol:Protocol.commute ~two_phase:true Explore.reference)
+
+let test_deadlock_exhaustive_commute () =
+  assert_clean "commute deadlock"
+    (explore ~protocol:Protocol.commute Explore.deadlock)
+
+let test_disjoint_collapses_commute () =
+  let o = explore ~protocol:Protocol.commute Explore.disjoint in
+  assert_clean "commute disjoint" o;
+  checki "single schedule" 1 o.Explore.o_explored
 
 let test_deadlock_exhaustive () =
   (* Every interleaving either serializes or deadlocks; the oracle checks
@@ -210,7 +230,7 @@ let test_victim_timestamp_tie () =
         sites = [ 1 ] } ]
   in
   let config =
-    { (Cluster.default_config ~protocol:Protocol.Xdgl ()) with
+    { (Cluster.default_config ~protocol:Protocol.xdgl ()) with
       deadlock_period_ms = 5.0 }
   in
   let cluster = Cluster.create ~sim ~net ~n_sites:2 config ~placements in
@@ -252,7 +272,15 @@ let () =
           Alcotest.test_case "DPOR reduction >= 2x" `Quick
             test_reduction_factor;
           Alcotest.test_case "disjoint collapses to one schedule" `Quick
-            test_disjoint_collapses ] );
+            test_disjoint_collapses;
+          Alcotest.test_case "ref exhaustive (Commute)" `Quick
+            test_ref_exhaustive_commute;
+          Alcotest.test_case "ref exhaustive (Commute+2PC)" `Quick
+            test_ref_exhaustive_commute_2pc;
+          Alcotest.test_case "deadlock exhaustive (Commute)" `Quick
+            test_deadlock_exhaustive_commute;
+          Alcotest.test_case "disjoint collapses (Commute)" `Quick
+            test_disjoint_collapses_commute ] );
       ( "mutations",
         [ Alcotest.test_case "skip-release found by exploration" `Quick
             test_skip_release_found_by_exploration;

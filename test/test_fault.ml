@@ -186,7 +186,7 @@ let test_crash_sweep_two_phase () =
     in
     let params =
       { Workload.default_params with
-        seed = 11; protocol = Protocol.Xdgl; n_sites = 3; n_clients = 4;
+        seed = 11; protocol = Protocol.xdgl; n_sites = 3; n_clients = 4;
         txns_per_client = 3; ops_per_txn = 3; update_txn_pct = 80;
         base_size_mb = 2.0; two_phase_commit = true;
         retransmit_ms = Some 3.0; txn_timeout_ms = Some 500.0 }

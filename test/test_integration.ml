@@ -197,7 +197,7 @@ let test_replicas_converge () =
           check "wfg empty" 0 (Dtx_locks.Wfg.size s.Site.wfg))
         (Cluster.sites cluster);
       check "all transactions done" 0 (Cluster.active_txns cluster))
-    [ Protocol.Xdgl; Protocol.Node2pl; Protocol.Doc2pl ]
+    [ Protocol.xdgl; Protocol.node2pl; Protocol.doc2pl ]
 
 (* ------------------------------------------------------------------ *)
 (* Serializability: the concurrent outcome must equal SOME serial order *)
@@ -312,8 +312,8 @@ let test_serializable_many_seeds () =
 
 let prop_random_configs_hold_invariants =
   let protocols =
-    [| Protocol.Xdgl; Protocol.Node2pl; Protocol.Doc2pl; Protocol.Tadom;
-       Protocol.Xdgl_value |]
+    [| Protocol.xdgl; Protocol.node2pl; Protocol.doc2pl; Protocol.tadom;
+       Protocol.xdgl_value |]
   in
   let policies = [| Dtx.Site.Detection; Dtx.Site.Wait_die; Dtx.Site.Wound_wait |] in
   let commits = [| Cluster.One_phase; Cluster.Two_phase |] in

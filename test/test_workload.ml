@@ -83,7 +83,7 @@ let test_protocols_all_run () =
     (fun kind ->
       let r = Workload.run { small with protocol = kind } in
       checkb (Protocol.kind_to_string kind ^ " commits") true (r.Workload.committed > 0))
-    [ Protocol.Xdgl; Protocol.Node2pl; Protocol.Doc2pl ]
+    [ Protocol.xdgl; Protocol.node2pl; Protocol.doc2pl ]
 
 let test_paper_headline_shape () =
   (* XDGL responds faster than Node2PL on the read-only workload, in both
@@ -91,7 +91,7 @@ let test_paper_headline_shape () =
   let ro = { small with update_txn_pct = 0; n_clients = 10 } in
   let mean p = (Workload.run p).Workload.response.Stats.mean in
   let xdgl_partial = mean ro in
-  let node2pl_partial = mean { ro with protocol = Protocol.Node2pl } in
+  let node2pl_partial = mean { ro with protocol = Protocol.node2pl } in
   let xdgl_total = mean { ro with replication = Allocation.Total } in
   checkb "XDGL < Node2PL" true (xdgl_partial < node2pl_partial);
   checkb "partial < total" true (xdgl_partial < xdgl_total)
@@ -105,7 +105,7 @@ let test_total_replication_more_messages () =
 
 let test_structure_nodes_by_protocol () =
   let x = Workload.run small in
-  let n = Workload.run { small with protocol = Protocol.Node2pl } in
+  let n = Workload.run { small with protocol = Protocol.node2pl } in
   checkb "dataguide smaller than document structure" true
     (x.Workload.structure_nodes < n.Workload.structure_nodes)
 
