@@ -7,11 +7,12 @@
 	bench-commute bench-commute-smoke \
 	ablation-identical analyze analyze-smoke \
 	analyze-mutations chaos chaos-smoke explore explore-smoke \
-	explore-mutations lint race-smoke race-mutations clean
+	explore-mutations lint race-smoke race-mutations cert cert-smoke \
+	cert-mutations clean
 
 check: build test test-locks-unsharded bench-smoke bench-scale-smoke \
 	bench-parallel-smoke bench-commute-smoke analyze-smoke chaos-smoke \
-	explore-smoke lint race-smoke ablation-identical
+	explore-smoke lint race-smoke cert-smoke ablation-identical
 
 build:
 	dune build
@@ -188,7 +189,30 @@ race-mutations:
 	! dune exec bin/dtx_cli.exe -- lint --mutate un-deferred-send
 	! dune exec bin/dtx_cli.exe -- lint --mutate un-deferred-counter
 	! dune exec bin/dtx_cli.exe -- lint --mutate cross-domain-intern
+	! dune exec bin/dtx_cli.exe -- lint --mutate record-static
 	! dune exec bin/dtx_cli.exe -- lint --mutate drop-allowlist
+
+# Symbolic soundness certifier (Dtx_cert): lock-coverage soundness of every
+# registered protocol against the semantic conflict oracle, FSM
+# exhaustiveness of the coordinator/participant classification tables
+# against reachability recordings, and registry-capability coherence.
+# Exits non-zero on any violation; the JSON report lands on stdout.
+cert:
+	dune exec bin/dtx_cli.exe -- cert
+
+# Same run with the 60 s universe-pass budget enforced — part of
+# `make check` (the certifier records its runtime in the report and fails
+# itself when the bounded-universe pass exceeds the budget).
+cert-smoke:
+	dune exec bin/dtx_cli.exe -- cert --max-seconds 60 > /dev/null
+
+# The certifier's self-test: each seeded fault must produce a non-zero
+# exit. `!` inverts, so this target fails if a fault certifies clean.
+cert-mutations:
+	! dune exec bin/dtx_cli.exe -- cert --mutate flip-compat-bit > /dev/null
+	! dune exec bin/dtx_cli.exe -- cert --mutate drop-handler > /dev/null
+	! dune exec bin/dtx_cli.exe -- cert --mutate wrong-caps > /dev/null
+	! dune exec bin/dtx_cli.exe -- cert --mutate weaken-commute > /dev/null
 
 clean:
 	dune clean

@@ -33,6 +33,7 @@ module Experiments = Dtx_workload.Experiments
 module Allocation = Dtx_frag.Allocation
 module Stats = Dtx_util.Stats
 module Race = Dtx_race.Race
+module Protocol_arg = Dtx_cli_args.Protocol_arg
 
 (* Under DTX_RACE=1 every simulation subcommand ends with the detector's
    report on stderr — stdout stays byte-identical to an uninstrumented
@@ -966,15 +967,17 @@ let lint_cmd =
                 [ ("un-deferred-send", "un-deferred-send");
                   ("un-deferred-counter", "un-deferred-counter");
                   ("cross-domain-intern", "cross-domain-intern");
+                  ("record-static", "record-static");
                   ("drop-allowlist", "drop-allowlist") ]))
           None
       & info [ "mutate" ] ~docv:"KIND"
           ~doc:
             "Inject a seeded violation the lint must flag: \
-             un-deferred-send, un-deferred-counter, cross-domain-intern \
-             (each adds an in-memory fixture whose site-tagged closure \
-             mutates a static directly) or drop-allowlist (ignore the \
-             manifest's allow entries).")
+             un-deferred-send, un-deferred-counter, cross-domain-intern, \
+             record-static (each adds an in-memory fixture whose \
+             site-tagged closure mutates a static directly — the last via \
+             a plain record literal with a mutable field) or \
+             drop-allowlist (ignore the manifest's allow entries).")
   in
   let run root allowlist mutate =
     exit (Dtx_race_lint.Lint.run ~root ~allowlist ~mutate ())
@@ -986,6 +989,55 @@ let lint_cmd =
           reachable from the parallel tick must be defer-routed, \
           domain-local or justified in the race_allowlist.")
     Term.(const run $ root $ allowlist $ mutate)
+
+(* --- cert -------------------------------------------------------------------*)
+
+module Cert = Dtx_cert.Cert
+
+let cert_mutation_conv =
+  Arg.conv
+    ( (fun s ->
+        match Cert.mutation_of_string (String.lowercase_ascii s) with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown mutation " ^ s))),
+      fun ppf m -> Format.pp_print_string ppf (Cert.mutation_to_string m) )
+
+let cert_cmd =
+  let mutate =
+    Arg.(
+      value
+      & opt (some cert_mutation_conv) None
+      & info [ "mutate" ] ~docv:"KIND"
+          ~doc:
+            "Certifier self-test — seed one fault it must reject: \
+             flip-compat-bit (ST/IX made compatible in the collision \
+             check), drop-handler (a reachable FSM pair silently dropped), \
+             wrong-caps (a probe protocol whose capability flags lie) or \
+             weaken-commute (gap-blind commutativity verdicts). The \
+             command must then exit non-zero.")
+  in
+  let max_seconds =
+    Arg.(
+      value & opt float 60.0
+      & info [ "max-seconds" ] ~docv:"S"
+          ~doc:
+            "Budget for the bounded-universe pass; exceeding it fails \
+             certification (the cert-smoke gate).")
+  in
+  let run mutate max_seconds =
+    exit (Cert.run ?mutate ~max_seconds ())
+  in
+  Cmd.v
+    (Cmd.info "cert"
+       ~doc:
+         "Symbolically certify every registered protocol: lock-coverage \
+          soundness over a bounded operation universe (with per-protocol \
+          precision metrics), exhaustive FSM (state x message-kind) \
+          coverage cross-checked against explore-style runs including \
+          crash/restart recovery, WAL crash-point recovery mapping, and \
+          registry-capability coherence. Prints a JSON report; exits \
+          non-zero on any violation.")
+    Term.(const run $ mutate $ max_seconds)
 
 (* --- experiment -------------------------------------------------------------*)
 
@@ -1025,4 +1077,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; query_cmd; update_cmd; txn_cmd; dataguide_cmd;
             locks_cmd; workload_cmd; scale_cmd; analyze_cmd; chaos_cmd;
-            explore_cmd; race_cmd; lint_cmd; experiment_cmd ]))
+            explore_cmd; race_cmd; lint_cmd; cert_cmd; experiment_cmd ]))

@@ -70,21 +70,32 @@ let parse_config s =
               (Protocol.kind_to_string k)))
     else Ok (k, two_phase)
 
+let parse_configs s =
+  if String.lowercase_ascii (String.trim s) = "all" then
+    Ok (default_configs ())
+  else
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.fold_left
+         (fun acc spec ->
+           match (acc, parse_config spec) with
+           | Error _, _ -> acc
+           | _, (Error _ as e) -> e
+           | Ok cs, Ok c ->
+             (* A duplicated config would silently double a sweep's runs
+                (and its runtime); refuse rather than dedup, so a typo in a
+                long --protocols list is visible. *)
+             if List.mem c cs then
+               Error
+                 (`Msg
+                    (Printf.sprintf "duplicate protocol config %s"
+                       (config_to_string c)))
+             else Ok (cs @ [ c ]))
+         (Ok [])
+
 let configs_conv =
   Arg.conv
-    ( (fun s ->
-        if String.lowercase_ascii (String.trim s) = "all" then
-          Ok (default_configs ())
-        else
-          String.split_on_char ',' s |> List.map String.trim
-          |> List.filter (fun s -> s <> "")
-          |> List.fold_left
-               (fun acc spec ->
-                 match (acc, parse_config spec) with
-                 | Error _, _ -> acc
-                 | _, (Error _ as e) -> e
-                 | Ok cs, Ok c -> Ok (cs @ [ c ]))
-               (Ok [])),
+    ( parse_configs,
       fun ppf cs ->
         Format.pp_print_string ppf
           (String.concat "," (List.map config_to_string cs)) )

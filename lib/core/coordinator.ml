@@ -717,6 +717,101 @@ let dispatch t ~src (msg : Msg.t) =
     (* participant-bound: not ours *)
     ()
 
+(* ------------------------------------------------------------------ *)
+(* Static delivery classification (consumed by Dtx_cert)               *)
+(* ------------------------------------------------------------------ *)
+
+(* One constructor per way a delivered message can relate to the machine.
+   The string is the provenance note the certifier reports: for [Handled]
+   the handler's action, for [Ignored] the guard that makes dropping safe,
+   for [Impossible] why the pair cannot be delivered here at all. There is
+   deliberately no "silently dropped" constructor — a pair that reaches
+   [dispatch] and matches no row below is exactly the bug the certifier
+   exists to find. *)
+type disposition =
+  | Handled of string
+  | Ignored of string
+  | Impossible of string
+
+(* The coordinator's (phase x Msg.Kind) table, kept next to [dispatch] and
+   the handlers so a new handler guard and its classification are edited
+   together. Every [Ignored] row names the staleness/idempotency guard in
+   the matching handler that makes the drop deliberate. *)
+let classify_delivery (phase : phase) (kind : Msg.Kind.t) : disposition =
+  let participant_bound =
+    Impossible "participant-bound: Cluster.route delivers to Participant"
+  in
+  match (kind : Msg.Kind.t) with
+  | Msg.Kind.Op_ship | Msg.Kind.Op_undo | Msg.Kind.Prepare | Msg.Kind.Commit
+  | Msg.Kind.Abort | Msg.Kind.Wfg_request | Msg.Kind.Outcome_reply ->
+    participant_bound
+  | Msg.Kind.Wfg_reply ->
+    Impossible "detector-bound: Cluster.route delivers to the WFG detector"
+  | Msg.Kind.Op_status -> (
+    match phase with
+    | Awaiting_replies ->
+      Handled "handle_op_status: advance / undo-and-wait / abort"
+    | Executing | Waiting | Preparing | Ending | Done ->
+      Ignored
+        "stale or duplicated status reply: handle_op_status requires \
+         phase = Awaiting_replies and a matching (attempt, seq)")
+  | Msg.Kind.Vote -> (
+    match phase with
+    | Preparing -> Handled "handle_vote: record vote, conclude when round empty"
+    | Executing | Awaiting_replies | Waiting | Ending | Done ->
+      Ignored
+        "duplicated or stale vote: handle_vote requires phase = Preparing \
+         and src in pending_sites")
+  | Msg.Kind.End_ack -> (
+    match phase with
+    | Ending -> Handled "handle_end_ack: record ack, finalize when round empty"
+    | Executing | Awaiting_replies | Waiting | Preparing | Done ->
+      Ignored
+        "duplicated or stale end-ack: handle_end_ack requires phase = \
+         Ending and src in pending_sites")
+  | Msg.Kind.Wake -> (
+    match phase with
+    | Waiting -> Handled "handle_wake: resume, reschedule coordinator_step"
+    | Executing | Awaiting_replies ->
+      Handled
+        "handle_wake: latch wake_pending so enter_wait retries instead of \
+         sleeping (lost-wakeup guard)"
+    | Preparing | Ending | Done ->
+      Ignored "wake for a finishing transaction: outcome already decided")
+  | Msg.Kind.Wound -> (
+    match phase with
+    | Executing | Awaiting_replies | Waiting ->
+      Handled "handle_wound: abort (wound-wait)"
+    | Preparing | Ending | Done ->
+      Ignored "wound for a finishing transaction: outcome already decided")
+  | Msg.Kind.Victim -> (
+    match phase with
+    | Executing | Awaiting_replies | Waiting ->
+      Handled "handle_victim: abort the detector's chosen cycle victim"
+    | Preparing | Ending | Done ->
+      Ignored "victim for a finishing transaction: outcome already decided")
+  | Msg.Kind.Outcome_query -> (
+    match phase with
+    | Done -> Handled "handle_outcome_query: answer from the outcome store"
+    | Ending ->
+      Handled
+        "handle_outcome_query: the decision is fixed; answer st.end_commit"
+    | Executing | Awaiting_replies | Waiting | Preparing ->
+      Ignored
+        "outcome not yet decided: stay silent, the recovering \
+         participant's capped backoff re-queries (or presumes abort)")
+
+(* Phase peek for the certifier's dynamic cross-check: a transaction the
+   coordinator no longer tracks but whose outcome is recorded is [Done]
+   (finalize removes from [txns] and inserts into [outcomes] atomically
+   within one handler). *)
+let phase_of t ~txn =
+  match Hashtbl.find_opt t.txns txn with
+  | Some st -> Some st.phase
+  | None -> if Hashtbl.mem t.outcomes txn then Some Done else None
+
+let has_optimist t = t.optimist <> None
+
 let submit t ~client ~coordinator ~ops ~on_finish =
   let id = t.next_txn_id in
   t.next_txn_id <- id + 1;

@@ -138,6 +138,30 @@ val set_tracer : t -> phase_tracer option -> unit
 (** Install (or remove) a phase-transition sink. [None] (the default) keeps
     phase assignment a plain store plus one immediate [match]. *)
 
+(** How a delivered [(phase, Msg.Kind)] pair relates to the machine — the
+    static classification the symbolic certifier ({!Dtx_cert}) audits for
+    exhaustiveness. The payload string is provenance: the handler action
+    ([Handled]), the staleness/idempotency guard that makes dropping
+    deliberate ([Ignored]), or why delivery cannot happen here at all
+    ([Impossible]). *)
+type disposition =
+  | Handled of string
+  | Ignored of string
+  | Impossible of string
+
+val classify_delivery : phase -> Dtx_net.Msg.Kind.t -> disposition
+(** Total over [phase] x {!Dtx_net.Msg.Kind.t}; co-located with the
+    handlers so classification and guards are edited together. *)
+
+val phase_of : t -> txn:int -> phase option
+(** The phase a delivery for [txn] would find: the live phase if tracked,
+    [Some Done] if finalized (outcome recorded), [None] if never
+    submitted. *)
+
+val has_optimist : t -> bool
+(** Whether a Commute-protocol validation classifier is installed
+    (capability-coherence probe for [needs_validation]). *)
+
 val set_optimist : t -> Optimist.t -> unit
 (** Install the Commute protocol's commutativity classifier. From then on
     every {!submit} classifies its operations against the active set (the

@@ -347,6 +347,93 @@ let restart ctx =
 let recovering ctx =
   Hashtbl.fold (fun txn () acc -> txn :: acc) ctx.recovering [] |> List.sort compare
 
+(* ------------------------------------------------------------------ *)
+(* Static delivery classification (consumed by Dtx_cert)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The participant has no explicit phase field; its observable state is
+   derived from the four bookkeeping tables, in precedence order — a
+   recovering transaction may also appear in [ended] (once resolved) and a
+   live one always has cached seqs. *)
+type pstate = P_idle | P_executing | P_ended | P_recovering
+
+let pstate_to_string = function
+  | P_idle -> "Idle"
+  | P_executing -> "Executing"
+  | P_ended -> "Ended"
+  | P_recovering -> "Recovering"
+
+let state_of ctx ~txn =
+  if Hashtbl.mem ctx.recovering txn then P_recovering
+  else if Hashtbl.mem ctx.ended txn then P_ended
+  else if Hashtbl.mem ctx.txn_seqs txn then P_executing
+  else P_idle
+
+type disposition = Coordinator.disposition =
+  | Handled of string
+  | Ignored of string
+  | Impossible of string
+
+(* The participant's (state x Msg.Kind) table, kept next to [handle] so a
+   handler change and its classification are edited together. Most handler
+   entry points are deliberately total over the derived state — idempotency
+   and the WAL carry the burden — so most rows are [Handled] with the
+   state-specific action named. *)
+let classify_delivery (state : pstate) (kind : Msg.Kind.t) : disposition =
+  let coordinator_bound =
+    Impossible "coordinator-bound: Cluster.route delivers to Coordinator"
+  in
+  match (kind : Msg.Kind.t) with
+  | Msg.Kind.Op_status | Msg.Kind.Vote | Msg.Kind.End_ack | Msg.Kind.Wake
+  | Msg.Kind.Wound | Msg.Kind.Victim | Msg.Kind.Outcome_query ->
+    coordinator_bound
+  | Msg.Kind.Wfg_reply ->
+    Impossible "detector-bound: Cluster.route delivers to the WFG detector"
+  | Msg.Kind.Op_ship -> (
+    match state with
+    | P_idle -> Handled "handle_op_ship: fresh execution via the LockManager"
+    | P_executing ->
+      Handled
+        "handle_op_ship: (txn, seq) reply cache absorbs duplicates; a new \
+         seq executes"
+    | P_ended ->
+      Handled
+        "handle_op_ship: txn_live refuses with Failed \"transaction \
+         ended\" (forget_txn wiped the reply cache)"
+    | P_recovering ->
+      Handled
+        "handle_op_ship: refused with Failed \"recovering\", reply \
+         uncached so a post-recovery retransmission succeeds")
+  | Msg.Kind.Op_undo ->
+    Handled
+      "handle_op_undo: undo_operation is attempt-guarded and idempotent \
+       in every state"
+  | Msg.Kind.Prepare -> (
+    match state with
+    | P_idle | P_executing ->
+      Handled "handle_prepare: log Prepared (or refuse if no redo), vote"
+    | P_ended | P_recovering ->
+      Handled
+        "handle_prepare: re-vote from the WAL outcome (In_doubt/Committed \
+         -> yes, Aborted -> no) without logging twice")
+  | Msg.Kind.Commit | Msg.Kind.Abort -> (
+    match state with
+    | P_idle | P_executing ->
+      Handled "handle_end/handle_quiet_abort: persist or undo, release, ack"
+    | P_ended -> Handled "handle_end: re-acknowledge without re-applying"
+    | P_recovering ->
+      Handled "handle_end: resolve_in_doubt from the durable record, ack")
+  | Msg.Kind.Wfg_request ->
+    Handled "handle_wfg_request: stateless wait-for-graph snapshot"
+  | Msg.Kind.Outcome_reply -> (
+    match state with
+    | P_recovering ->
+      Handled "handle_outcome_reply: resolve_in_doubt with the answer"
+    | P_idle | P_executing | P_ended ->
+      Ignored
+        "late or duplicated recovery answer: handle_outcome_reply only \
+         acts while the transaction is in [recovering]")
+
 let handle ctx ~src (msg : Msg.t) =
   match msg with
   | Msg.Op_ship { txn; attempt; seq; ops } ->

@@ -95,3 +95,27 @@ val restart : ctx -> unit
 val recovering : ctx -> int list
 (** In-doubt transactions still unresolved (sorted); [[]] once recovery is
     complete. *)
+
+(** The participant's observable per-transaction state, derived from its
+    bookkeeping tables (it has no explicit phase field): [P_recovering]
+    takes precedence over [P_ended] (a resolved transaction leaves
+    [recovering] first), and a live execution always has cached seqs. *)
+type pstate = P_idle | P_executing | P_ended | P_recovering
+
+val pstate_to_string : pstate -> string
+
+val state_of : ctx -> txn:int -> pstate
+(** The state a delivery concerning [txn] would find. For transaction-less
+    messages ([Wfg_request]) pass a txn that is certainly untracked (e.g.
+    [-1]) — the derived state is [P_idle]. *)
+
+(** Same classification as {!Coordinator.disposition} (re-exported so both
+    tables share one type). *)
+type disposition = Coordinator.disposition =
+  | Handled of string
+  | Ignored of string
+  | Impossible of string
+
+val classify_delivery : pstate -> Dtx_net.Msg.Kind.t -> disposition
+(** Total over {!pstate} x [Msg.Kind.t]; co-located with {!handle} so the
+    classification and the handlers are edited together. *)

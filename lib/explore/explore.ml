@@ -282,7 +282,10 @@ let independent_en verdicts a b =
        x = y && a.en_fanout && b.en_fanout
      | _ -> false)
 
-let build scen cfg =
+(* Also the certifier's reachability harness: Dtx_cert audits the FSM
+   delivery tables against runs over the exact cluster construction the
+   explorer replays, so "reachable" means the same thing in both tools. *)
+let setup ?retransmit_ms scen ~protocol ~two_phase =
   let sim = Sim.create () in
   let net = Net.of_config ~sim Net.Config.lan in
   let placements =
@@ -292,14 +295,21 @@ let build scen cfg =
       scen.sc_docs
   in
   let config =
-    { (Cluster.default_config ~protocol:cfg.protocol ()) with
+    { (Cluster.default_config ~protocol ()) with
       deadlock_period_ms = 5.0;
-      commit = (if cfg.two_phase then Cluster.Two_phase else Cluster.One_phase)
+      commit = (if two_phase then Cluster.Two_phase else Cluster.One_phase);
+      retransmit_ms
     }
   in
   let cluster = Cluster.create ~sim ~net ~n_sites:scen.sc_sites config ~placements in
   Cluster.shutdown_when_idle cluster;
-  (sim, net, cluster)
+  (sim, cluster)
+
+let build scen cfg =
+  let sim, cluster =
+    setup scen ~protocol:cfg.protocol ~two_phase:cfg.two_phase
+  in
+  (sim, Cluster.net cluster, cluster)
 
 (* (txn id, op index) -> index into the flattened scenario op array the
    commutativity matrix is computed over. Txn ids are assigned 1.. in

@@ -107,6 +107,23 @@ type outcome = {
 
 (** {1 Running} *)
 
+val setup :
+  ?retransmit_ms:float ->
+  scenario ->
+  protocol:Dtx_protocol.Protocol.kind ->
+  two_phase:bool ->
+  Dtx_sim.Sim.t * Dtx.Cluster.t
+(** The cluster construction every replay uses (fresh simulator, LAN net,
+    5 ms detector period, shutdown-when-idle), without a schedule chooser.
+    Exposed so the symbolic certifier's reachability runs audit exactly the
+    machine exploration covers; [retransmit_ms] arms the recovery paths its
+    crash/restart run needs. Submit {!scripts} (or call
+    [Dtx.Cluster.submit]) and [Dtx_sim.Sim.run] to execute. *)
+
+val scripts : scenario -> Dtx_workload.Workload.script list
+(** The scenario's transactions as one workload script per client, ready
+    for [Dtx_workload.Workload.submit_script]. *)
+
 val explore : ?config:config -> scenario -> outcome
 (** Exhaustively (up to [max_schedules]) explore the scenario's delivery
     schedules. Every replay builds a fresh simulator/net/cluster, so calls

@@ -38,6 +38,20 @@ let impls : (int, impl) Hashtbl.t = Hashtbl.create 16
 let next_id = ref 0
 
 let register ~name ~aliases ~caps ~derive ~structure () =
+  (* Registration is append-only and global: silently shadowing an existing
+     name/alias would reroute every later [kind_of_string] (CLI parsing,
+     saved configs) to the new entry. Refuse loudly instead. *)
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt by_alias (String.lowercase_ascii a) with
+      | Some prior ->
+        invalid_arg
+          (Printf.sprintf
+             "Protocol.register: alias %S of %S collides with registered \
+              protocol %S"
+             a name prior.k_name)
+      | None -> ())
+    (name :: aliases);
   let k =
     { k_id = !next_id; k_name = name; k_aliases = aliases; k_caps = caps }
   in
@@ -53,6 +67,7 @@ let impl_of k = Hashtbl.find impls k.k_id
 
 let registered () = !registry
 let caps k = k.k_caps
+let aliases k = k.k_aliases
 let kind_to_string k = k.k_name
 let kind_of_string s = Hashtbl.find_opt by_alias (String.lowercase_ascii s)
 

@@ -68,13 +68,21 @@ val register :
     [(requests, processed)] lock set; [structure] reports the size of the
     kind's lock-representation structure. [name] and every alias become
     {!kind_of_string} keys (case-insensitive). The returned kind is the
-    shared registry value. *)
+    shared registry value.
+    @raise Invalid_argument if [name] or any alias (case-insensitively)
+    collides with an already-registered protocol — silent shadowing would
+    reroute every later {!kind_of_string} lookup. *)
 
 val registered : unit -> kind list
 (** All registered kinds, in registration order (built-ins first). This is
     what the CLI and the benches enumerate. *)
 
 val caps : kind -> caps
+
+val aliases : kind -> string list
+(** The registered lookup aliases (excluding the display name). Every entry
+    resolves back to this kind via {!kind_of_string} — the coherence the
+    symbolic certifier's registry pass re-verifies. *)
 
 val kind_to_string : kind -> string
 

@@ -48,6 +48,9 @@ type env = {
   lib_dirs : (string, string) Hashtbl.t;  (* lowercased libname -> dir *)
   dir_libs : (string, string) Hashtbl.t;  (* dir -> libname *)
   dir_modules : (string, string list) Hashtbl.t;  (* dir -> [Module] *)
+  mutable_labels : (string, unit) Hashtbl.t;
+      (* label names declared [mutable] in any record type, so a plain
+         record literal counts as mutable state without a typing pass *)
 }
 
 (* Per-file resolution state, rebuilt identically in both passes. *)
@@ -163,6 +166,19 @@ let classify_static ctx e =
               match creator_of ctx (flatten txt) with
               | Some c -> note c
               | None -> ())
+          | Parsetree.Pexp_record (fields, _) ->
+              (* A plain record literal is mutable state whenever one of
+                 its labels was declared [mutable] somewhere in the tree;
+                 no creator call is involved, so the apply case above
+                 never sees it. *)
+              if
+                List.exists
+                  (fun (({ txt; _ } : L.t Location.loc), _) ->
+                    match List.rev (flatten txt) with
+                    | l :: _ -> Hashtbl.mem ctx.env.mutable_labels l
+                    | [] -> false)
+                  fields
+              then note Mut
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);
     }
@@ -319,6 +335,35 @@ let module_binding ctx name (me : Parsetree.module_expr) =
       Hashtbl.replace ctx.functor_tables name ();
       None
   | _ -> None
+
+(* Pass 0: collect the label names of every record field declared
+   [mutable] anywhere in the tree. Runs over all files before pass 1, so
+   a module-level record literal is recognised as mutable state no matter
+   which file declared its type. Labels are matched by name alone — the
+   lint has no typing pass — which can only over-approximate, and an
+   over-approximated static that never becomes parallel-reachable is
+   reported as ok. *)
+let rec collect_mutable_labels env (items : Parsetree.structure) =
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Parsetree.Pstr_type (_, decls) ->
+          List.iter
+            (fun (d : Parsetree.type_declaration) ->
+              match d.ptype_kind with
+              | Parsetree.Ptype_record labels ->
+                  List.iter
+                    (fun (l : Parsetree.label_declaration) ->
+                      if l.pld_mutable = Asttypes.Mutable then
+                        Hashtbl.replace env.mutable_labels l.pld_name.txt ())
+                    labels
+              | _ -> ())
+            decls
+      | Parsetree.Pstr_module
+          { pmb_expr = { pmod_desc = Parsetree.Pmod_structure sub; _ }; _ } ->
+          collect_mutable_labels env sub
+      | _ -> ())
+    items
 
 (* Pass 1: register every top-level function and mutable static, so
    cross-file references resolve regardless of file order. *)
@@ -528,6 +573,22 @@ let note name = ignore (Intern.intern syms name)
 let on_tick sim site =
   Sim.schedule sim ~site ~delay:1.0 (fun () -> note "fresh-symbol")
 |}
+  | "record-static" ->
+      (* A module-level mutable static built as a plain record literal —
+         no Hashtbl.create/ref in sight — mutated from a site-tagged
+         closure. Guards the Pexp_record inventory path. *)
+      Some
+        {|
+module Sim = Dtx_sim.Sim
+
+type wire_stats = { mutable sent : int; name : string }
+
+let stats = { sent = 0; name = "wire" }
+let bump () = stats.sent <- stats.sent + 1
+
+let on_tick sim site =
+  Sim.schedule sim ~site ~delay:1.0 (fun () -> bump ())
+|}
   | _ -> None
 
 (* ------------------------------------------------------------- allowlist *)
@@ -583,6 +644,7 @@ let run ?(ppf = Format.std_formatter) ~root ~allowlist ~mutate () =
       lib_dirs = Hashtbl.create 32;
       dir_libs = Hashtbl.create 32;
       dir_modules = Hashtbl.create 32;
+      mutable_labels = Hashtbl.create 64;
     }
   in
   let errors = ref 0 in
@@ -622,6 +684,7 @@ let run ?(ppf = Format.std_formatter) ~root ~allowlist ~mutate () =
             None)
       files
   in
+  List.iter (fun (_, ast) -> collect_mutable_labels env ast) parsed;
   List.iter
     (fun (fl, ast) ->
       register_structure (make_fctx env fl.fl_dir fl.fl_mod) ast)
